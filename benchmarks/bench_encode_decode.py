@@ -1,0 +1,65 @@
+"""Microbenchmarks: encode and double-failure decode throughput.
+
+Not a paper figure, but the baseline cost model behind everything:
+encode must scale with the stripe's XOR volume, and the paper's
+optimal-complexity claim (Section IV.2) predicts HV's encode work per
+data element sits at the 2(p-4)/(p-3) XOR lower bound.
+"""
+
+import pytest
+
+from repro.codes.registry import evaluated_codes, get_code
+
+ELEMENT_SIZE = 4096
+P = 13
+
+
+def _codes():
+    return evaluated_codes(P)
+
+
+@pytest.mark.parametrize("code", _codes(), ids=lambda c: c.name)
+def test_encode_throughput(benchmark, code):
+    stripe = code.random_stripe(element_size=ELEMENT_SIZE, seed=1)
+
+    def encode():
+        code.encode(stripe)
+        return stripe
+
+    benchmark(encode)
+    assert code.verify(stripe)
+
+
+@pytest.mark.parametrize("code", _codes(), ids=lambda c: c.name)
+def test_double_failure_decode(benchmark, code):
+    stripe = code.random_stripe(element_size=ELEMENT_SIZE, seed=2)
+
+    def decode():
+        broken = stripe.copy()
+        broken.erase_disks([0, 2])
+        code.decode(broken)
+        return broken
+
+    result = benchmark(decode)
+    assert result == stripe
+
+
+def test_rs_encode_throughput(benchmark):
+    rs = get_code_rs()
+    stripe = rs.random_stripe(element_size=ELEMENT_SIZE, seed=3)
+    benchmark(lambda: rs.encode(stripe))
+    assert rs.verify(stripe)
+
+
+def get_code_rs():
+    from repro import ReedSolomonRAID6
+
+    return ReedSolomonRAID6(k=P - 1)
+
+
+def test_hv_encode_xor_count_optimal():
+    """Section IV.2: 2(p-4)/(p-3) XORs per data element is optimal."""
+    code = get_code("HV", P)
+    total_xors = sum(len(chain.members) - 1 for chain in code.chains)
+    per_data_element = total_xors / code.data_elements_per_stripe
+    assert per_data_element == pytest.approx(2 * (P - 4) / (P - 3))

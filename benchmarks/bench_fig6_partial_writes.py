@@ -1,0 +1,65 @@
+"""Fig. 6 benchmark: partial-stripe-write traces at the paper's p=13.
+
+Regenerates all three Fig. 6 panels inside the benchmark (300 uniform
+patterns rather than 1000 to keep the timer honest across rounds) and
+asserts the paper's headline claims on the measured output:
+
+- 6(a): HV cuts ~27.6% / ~32.4% of X-Code's / HDP's induced writes on
+  ``uniform_w_10`` and stays within ~1% of H-Code on the random trace;
+- 6(b): λ ≈ 1 for HV/HDP/X-Code, huge for RDP;
+- 6(c): RDP's dedicated parity disks make it slowest.
+"""
+
+import pytest
+
+from repro.experiments.fig6_partial_writes import run
+
+P = 13
+PATTERNS = 300
+
+
+@pytest.fixture(scope="module")
+def fig6(request):
+    results = {}
+
+    def compute():
+        out = {r.experiment: r for r in run(p=P, num_patterns=PATTERNS, seed=0)}
+        results.update(out)
+        return out
+
+    compute()
+    return results
+
+
+def test_fig6_full_run(benchmark):
+    out = benchmark.pedantic(
+        lambda: run(p=P, num_patterns=PATTERNS, seed=0), rounds=3, iterations=1
+    )
+    assert len(out) == 3
+
+
+class TestShapes:
+    def test_6a_hv_vs_xcode(self, fig6):
+        hv = fig6["fig6a"].row_for("HV")[1]
+        x = fig6["fig6a"].row_for("X-Code")[1]
+        assert 0.20 <= 1 - hv / x <= 0.35
+
+    def test_6a_hv_vs_hdp(self, fig6):
+        hv = fig6["fig6a"].row_for("HV")[1]
+        hdp = fig6["fig6a"].row_for("HDP")[1]
+        assert 0.25 <= 1 - hv / hdp <= 0.40
+
+    def test_6a_hv_vs_hcode_random(self, fig6):
+        hv = fig6["fig6a"].row_for("HV")[3]
+        hc = fig6["fig6a"].row_for("H-Code")[3]
+        assert hv / hc <= 1.02
+
+    def test_6b_balance(self, fig6):
+        for name in ("HV", "HDP", "X-Code"):
+            assert fig6["fig6b"].row_for(name)[1] < 1.3
+        assert fig6["fig6b"].row_for("RDP")[1] > 8.0
+
+    def test_6c_rdp_slowest(self, fig6):
+        rdp = fig6["fig6c"].row_for("RDP")[1]
+        for name in ("HV", "HDP", "X-Code", "H-Code"):
+            assert rdp > fig6["fig6c"].row_for(name)[1]

@@ -1,0 +1,10 @@
+"""Benchmark-suite configuration.
+
+Each ``bench_*`` module regenerates one of the paper's tables or
+figures inside a ``pytest-benchmark`` measurement and then asserts the
+paper's qualitative shape on the measured output, so ``pytest
+benchmarks/ --benchmark-only`` both times the harness and re-validates
+the reproduction.
+"""
+
+collect_ignore_glob: list[str] = []

@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""Explore every implemented code: layouts, chains, and properties.
+
+Run:  python examples/code_explorer.py [p]
+"""
+
+import sys
+
+from repro.codes.registry import available_codes, get_code
+from repro.metrics.balance import parity_distribution
+
+
+def explore(name: str, p: int) -> None:
+    code = get_code(name, p)
+    print("=" * 64)
+    print(f"{code.name}: {code.rows}x{code.cols} stripe, "
+          f"{code.data_elements_per_stripe} data elements, "
+          f"storage efficiency {code.storage_efficiency:.3f}")
+    print(code.describe_layout())
+    print(f"parity per disk: {parity_distribution(code)}")
+    print(f"update complexity: {code.average_update_complexity():.3f} "
+          f"parity writes per data update")
+    kinds = {}
+    for chain in code.chains:
+        kinds.setdefault(chain.kind.value, []).append(chain.length)
+    for kind, lengths in kinds.items():
+        print(f"{kind} chains: {len(lengths)} of length "
+              f"{sorted(set(lengths))}")
+    sample = code.chains[0]
+    members = ", ".join(str(m) for m in sorted(sample.members)[:6])
+    more = "..." if len(sample.members) > 6 else ""
+    print(f"sample chain: parity {sample.parity} <- XOR of {members}{more}")
+    print()
+
+
+def main() -> None:
+    p = int(sys.argv[1]) if len(sys.argv) > 1 else 7
+    for name in available_codes():
+        explore(name, p)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+#!/usr/bin/env python
+"""Degraded reads on a live volume (paper Section V.B).
+
+Fails one disk of a simulated multi-stripe volume, issues reads of
+increasing length, and shows the extra I/O each code needs to serve
+them — the L'/L efficiency of Fig. 7(b).
+
+Run:  python examples/degraded_read_demo.py
+"""
+
+from repro.array.raid import RAID6Volume
+from repro.codes.registry import evaluated_codes
+
+
+def main() -> None:
+    p = 13
+    lengths = (1, 5, 10, 15)
+    print(f"degraded reads at p={p}, one failed disk, start fixed at 0")
+    header = "  ".join(f"L={length:<3d} L'/L" for length in lengths)
+    print(f"{'code':8s}  {header}")
+    for code in evaluated_codes(p):
+        volume = RAID6Volume(code, num_stripes=4)
+        volume.fail_disk(1)
+        cells = []
+        for length in lengths:
+            result = volume.degraded_read(0, length)
+            cells.append(f"{result.elements_returned:4d} {result.elements_returned / length:5.2f}")
+        print(f"{code.name:8s}  {'  '.join(cells)}")
+    print()
+    print("L' counts every element actually fetched; 1.0 means the read")
+    print("pattern itself already contained everything recovery needed.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Byte-level storage on an HV-coded array: the full failure lifecycle.
+
+Stores a real payload, loses two disks mid-workload, keeps serving
+reads and writes degraded, rebuilds, and scrubs clean.
+
+Run:  python examples/file_storage_demo.py
+"""
+
+import hashlib
+
+import numpy as np
+
+from repro import HVCode
+from repro.array.filestore import FileStore
+
+
+def digest(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()[:16]
+
+
+def main() -> None:
+    store = FileStore(HVCode(p=7), element_size=1024)
+    rng = np.random.default_rng(99)
+    payload = bytes(rng.integers(0, 256, 200_000, dtype=np.uint8))
+
+    store.write(0, payload)
+    print(f"wrote {len(payload)} bytes across {len(store.stripes)} stripes "
+          f"({store.code.num_disks} disks)")
+    print(f"  sha256[:16] = {digest(store.read(0, len(payload)))}")
+
+    store.fail_disk(2)
+    print("disk 2 failed — degraded read still serves the same bytes:",
+          digest(store.read(0, len(payload))) == digest(payload))
+
+    patch = b"written while degraded"
+    store.write(150_000, patch)
+    print("degraded write landed:",
+          store.read(150_000, len(patch)) == patch)
+
+    store.fail_disk(5)
+    print("disk 5 failed too (RAID-6 limit) — reads still correct:",
+          store.read(150_000, len(patch)) == patch)
+
+    store.rebuild(2)
+    store.rebuild(5)
+    bad = store.scrub()
+    print(f"rebuilt both disks; scrub found {len(bad)} inconsistent stripes")
+
+    final = bytearray(payload)
+    final[150_000 : 150_000 + len(patch)] = patch
+    print("final content matches expectation:",
+          store.read(0, len(payload)) == bytes(final))
+
+
+if __name__ == "__main__":
+    main()

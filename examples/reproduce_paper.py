@@ -1,0 +1,30 @@
+#!/usr/bin/env python
+"""Regenerate every table and figure of the paper in one run.
+
+This drives the same harness as ``python -m repro.cli all``; pass
+``--quick`` for a CI-sized run (smaller primes and traces).
+
+Run:  python examples/reproduce_paper.py [--quick]
+"""
+
+import sys
+import time
+
+from repro.experiments.runner import run_all
+from repro.version import PAPER
+
+
+def main() -> None:
+    quick = "--quick" in sys.argv
+    print(f"Reproducing: {PAPER}")
+    print(f"mode: {'quick' if quick else 'full (paper parameters)'}")
+    print()
+    started = time.perf_counter()
+    for result in run_all(quick=quick):
+        print(result.to_text())
+        print()
+    print(f"done in {time.perf_counter() - started:.1f}s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Workload study: how the codes behave across access patterns.
+
+Replays three synthetic workloads — a sequential backup sweep, a
+Zipf-skewed hot-stripe stream, and the paper's uniform trace — against
+every evaluated code and reports induced writes, load balance, and
+simulated time.  This generalizes Fig. 6 beyond the paper's traces.
+
+Run:  python examples/workload_study.py
+"""
+
+import math
+
+from repro.array.raid import RAID6Volume
+from repro.codes.registry import evaluated_codes
+from repro.metrics.balance import load_balancing_rate
+from repro.metrics.io_count import total_induced_writes, writes_per_disk
+from repro.metrics.timing import average_seconds
+from repro.workloads.synthetic import sequential_write_trace, zipf_write_trace
+from repro.workloads.traces import uniform_write_trace
+
+P = 13
+VOLUME = 960  # data elements; 8 stripes of the largest stripe
+
+
+def traces():
+    return [
+        uniform_write_trace(10, VOLUME, num_patterns=400, seed=0),
+        sequential_write_trace(VOLUME, segment_length=32),
+        zipf_write_trace(VOLUME, stripe_elements=120, num_patterns=400, skew=1.5),
+    ]
+
+
+def main() -> None:
+    all_traces = traces()
+    print(f"p={P}, volume={VOLUME} data elements")
+    for trace in all_traces:
+        print(f"\n--- workload: {trace.name} "
+              f"({trace.total_elements_written} elements written) ---")
+        print(f"{'code':8s}  {'writes':>8s}  {'lambda':>7s}  {'s/pattern':>9s}")
+        for code in evaluated_codes(P):
+            stripes = math.ceil(VOLUME / code.data_elements_per_stripe)
+            volume = RAID6Volume(code, num_stripes=stripes)
+            results = volume.replay_write_trace(trace)
+            lam = load_balancing_rate(writes_per_disk(results, volume.num_disks))
+            print(f"{code.name:8s}  {total_induced_writes(results):8d}  "
+                  f"{lam:7.2f}  {average_seconds(results):9.3f}")
+    print("\nReading guide: sequential sweeps reward horizontal parity "
+          "(row sharing);")
+    print("skewed streams expose dedicated-parity hot spots (RDP's λ).")
+
+
+if __name__ == "__main__":
+    main()

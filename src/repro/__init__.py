@@ -1,0 +1,79 @@
+"""Reproduction of HV Code (DSN 2014): an all-around MDS RAID-6 code.
+
+The package is organized as:
+
+- :mod:`repro.core` — HV Code itself (the paper's contribution).
+- :mod:`repro.codes` — the baseline array codes the paper compares
+  against (RDP, HDP, X-Code, H-Code) plus extensions (EVENODD, P-Code,
+  Reed-Solomon), all built on a shared parity-chain framework.
+- :mod:`repro.gf` / :mod:`repro.xor` — arithmetic substrates.
+- :mod:`repro.array` — a discrete disk-array simulator (the paper's
+  physical testbed, substituted per DESIGN.md).
+- :mod:`repro.workloads` — the paper's write/read trace generators.
+- :mod:`repro.recovery` — generic erasure decoding and the minimal-I/O
+  recovery planners.
+- :mod:`repro.experiments` — one module per paper figure/table.
+
+Quickstart::
+
+    from repro import HVCode
+    code = HVCode(p=7)
+    stripe = code.random_stripe(element_size=64, seed=1)
+    code.encode(stripe)
+    stripe.erase_disks([0, 2])
+    code.decode(stripe, failed_disks=[0, 2])
+"""
+
+from .version import __version__, PAPER
+from .exceptions import (
+    ReproError,
+    InvalidParameterError,
+    NotPrimeError,
+    LayoutError,
+    DecodeError,
+    UnrecoverableFailureError,
+    SimulationError,
+    WorkloadError,
+)
+from .codes.base import ArrayCode, ElementKind, ParityChain, Position
+from .codes.registry import available_codes, get_code, evaluated_codes
+from .core.hvcode import HVCode
+from .codes.rdp import RDPCode
+from .codes.evenodd import EvenOddCode
+from .codes.xcode import XCode
+from .codes.hdp import HDPCode
+from .codes.hcode import HCode
+from .codes.pcode import PCode
+from .codes.liberation import LiberationCode
+from .codes.cauchy import CauchyRSCode
+from .codes.reed_solomon import ReedSolomonRAID6
+
+__all__ = [
+    "__version__",
+    "PAPER",
+    "ReproError",
+    "InvalidParameterError",
+    "NotPrimeError",
+    "LayoutError",
+    "DecodeError",
+    "UnrecoverableFailureError",
+    "SimulationError",
+    "WorkloadError",
+    "ArrayCode",
+    "ElementKind",
+    "ParityChain",
+    "Position",
+    "available_codes",
+    "evaluated_codes",
+    "get_code",
+    "HVCode",
+    "RDPCode",
+    "EvenOddCode",
+    "XCode",
+    "HDPCode",
+    "HCode",
+    "PCode",
+    "LiberationCode",
+    "CauchyRSCode",
+    "ReedSolomonRAID6",
+]

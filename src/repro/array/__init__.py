@@ -1,0 +1,36 @@
+"""Disk-array simulator.
+
+This subpackage substitutes for the paper's physical testbed (16 SAS
+disks behind an 800 MB/s fiber link).  It provides:
+
+- :mod:`repro.array.stripe` — the in-memory stripe of element buffers.
+- :mod:`repro.array.disk` — a simulated disk with failure state, a
+  seek+transfer latency model, and per-operation I/O counters.
+- :mod:`repro.array.latency` — the latency model parameters.
+- :mod:`repro.array.iostats` — I/O accounting shared by disks and
+  experiments.
+- :mod:`repro.array.addressing` — logical data addresses over a
+  multi-stripe volume.
+- :mod:`repro.array.raid` — :class:`RAID6Volume`, which ties a code, a
+  set of simulated disks, and the addressing together and executes
+  write patterns, reads, and degraded reads.
+"""
+
+from .latency import LatencyModel
+from .iostats import IOStats
+from .stripe import Stripe
+from .disk import SimulatedDisk
+from .addressing import VolumeAddressing
+from .raid import RAID6Volume, PatternResult
+from .filestore import FileStore
+
+__all__ = [
+    "LatencyModel",
+    "IOStats",
+    "Stripe",
+    "SimulatedDisk",
+    "VolumeAddressing",
+    "RAID6Volume",
+    "PatternResult",
+    "FileStore",
+]

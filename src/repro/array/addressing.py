@@ -1,0 +1,94 @@
+"""Logical data addressing over a multi-stripe volume.
+
+The paper's traces address "continuous data elements" of an encoded
+file: logical index 0 is the first data element of stripe 0, indices
+walk the stripe's data cells in row-major order (skipping parities),
+then continue into the next stripe.  ``VolumeAddressing`` implements
+that mapping, optionally with *stripe rotation* — the classic trick of
+shifting each stripe's column-to-disk assignment so dedicated parity
+disks rotate (Section II.C discusses why rotation alone cannot fix
+intra-stripe imbalance; the rotation flag lets an ablation show it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from ..exceptions import InvalidParameterError
+
+if TYPE_CHECKING:  # imported lazily to avoid a codes<->array cycle
+    from ..codes.base import ArrayCode
+
+#: A cell coordinate ``(row, col)``, 0-based.
+Position = tuple[int, int]
+
+
+@dataclass(frozen=True)
+class LogicalLocation:
+    """Where one logical data element lives."""
+
+    stripe: int
+    position: Position  # (row, col) within the stripe grid
+    disk: int  # physical disk after optional rotation
+
+
+class VolumeAddressing:
+    """Maps logical data indices onto (stripe, cell, disk)."""
+
+    def __init__(
+        self,
+        code: "ArrayCode",
+        num_stripes: int,
+        rotate_stripes: bool = False,
+    ) -> None:
+        if num_stripes <= 0:
+            raise InvalidParameterError("num_stripes must be positive")
+        self.code = code
+        self.num_stripes = num_stripes
+        self.rotate_stripes = rotate_stripes
+        self._per_stripe = code.data_elements_per_stripe
+
+    @property
+    def total_data_elements(self) -> int:
+        return self._per_stripe * self.num_stripes
+
+    def disk_of(self, stripe: int, col: int) -> int:
+        """Physical disk of a stripe column (identity unless rotating)."""
+        if self.rotate_stripes:
+            return (col + stripe) % self.code.cols
+        return col
+
+    def locate(self, logical_index: int) -> LogicalLocation:
+        """Resolve a logical data-element index."""
+        if not 0 <= logical_index < self.total_data_elements:
+            raise InvalidParameterError(
+                f"logical index {logical_index} outside volume of "
+                f"{self.total_data_elements} data elements"
+            )
+        stripe, offset = divmod(logical_index, self._per_stripe)
+        pos = self.code.data_positions[offset]
+        return LogicalLocation(
+            stripe=stripe, position=pos, disk=self.disk_of(stripe, pos[1])
+        )
+
+    def locate_range(self, start: int, length: int) -> list[LogicalLocation]:
+        """Resolve ``length`` continuous data elements from ``start``.
+
+        The range may span stripes but must stay within the volume.
+        """
+        if length <= 0:
+            raise InvalidParameterError("length must be positive")
+        if start + length > self.total_data_elements:
+            raise InvalidParameterError(
+                f"range [{start}, {start + length}) overruns the volume "
+                f"({self.total_data_elements} data elements)"
+            )
+        return [self.locate(i) for i in range(start, start + length)]
+
+    def by_stripe(self, locations: list[LogicalLocation]) -> dict[int, list[LogicalLocation]]:
+        """Group resolved locations per stripe, preserving order."""
+        grouped: dict[int, list[LogicalLocation]] = {}
+        for loc in locations:
+            grouped.setdefault(loc.stripe, []).append(loc)
+        return grouped

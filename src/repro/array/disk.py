@@ -1,0 +1,62 @@
+"""A simulated disk: failure state plus serial request service.
+
+The simulator does not store bytes at the disk level (stripes hold the
+actual buffers); a :class:`SimulatedDisk` tracks what the experiments
+need — whether the disk is up, how many element requests it has
+served, and how long its queue would take under the latency model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..exceptions import SimulationError
+from .latency import LatencyModel
+
+
+@dataclass
+class SimulatedDisk:
+    """One disk of the simulated array."""
+
+    disk_id: int
+    latency: LatencyModel = field(default_factory=LatencyModel)
+    failed: bool = False
+    reads: int = 0
+    writes: int = 0
+
+    def fail(self) -> None:
+        """Take the disk down (hardware fault injection)."""
+        self.failed = True
+
+    def heal(self) -> None:
+        """Bring the disk back after reconstruction."""
+        self.failed = False
+
+    def read(self, count: int = 1) -> None:
+        """Serve ``count`` element reads; fails loudly when down."""
+        if self.failed:
+            raise SimulationError(f"read from failed disk {self.disk_id}")
+        if count < 0:
+            raise SimulationError("read count must be >= 0")
+        self.reads += count
+
+    def write(self, count: int = 1) -> None:
+        """Serve ``count`` element writes; fails loudly when down."""
+        if self.failed:
+            raise SimulationError(f"write to failed disk {self.disk_id}")
+        if count < 0:
+            raise SimulationError("write count must be >= 0")
+        self.writes += count
+
+    @property
+    def requests(self) -> int:
+        return self.reads + self.writes
+
+    @property
+    def busy_seconds(self) -> float:
+        """Total service time of everything this disk has done."""
+        return self.latency.serve(self.requests)
+
+    def reset_counters(self) -> None:
+        self.reads = 0
+        self.writes = 0

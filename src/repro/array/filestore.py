@@ -1,0 +1,193 @@
+"""A byte-addressed store over encoded stripes: the adoption surface.
+
+Everything else in :mod:`repro.array` counts I/O; ``FileStore`` moves
+real bytes.  It stripes a growable byte space across a code's data
+elements, keeps parity consistent through the small-write delta path,
+and honours disk failures the way an array does:
+
+- **degraded reads** reconstruct lost elements on the fly from the
+  surviving cells (the stripe itself stays degraded);
+- **degraded writes** are reconstruct-writes: the store decodes the
+  stripe, applies the update, and persists the surviving columns plus
+  refreshed parity, so the lost element's *logical* content is the new
+  data even though its disk is gone;
+- **rebuild** decodes every stripe to bring a replaced disk back.
+
+Used by ``examples/file_storage_demo.py`` and the end-to-end tests.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..exceptions import InvalidParameterError, UnrecoverableFailureError
+from .stripe import Stripe
+
+if TYPE_CHECKING:  # imported lazily to avoid a codes<->array cycle
+    from ..codes.base import ArrayCode
+
+Position = tuple[int, int]
+
+
+class FileStore:
+    """A growable byte store protected by one RAID-6 array code."""
+
+    def __init__(self, code: "ArrayCode", element_size: int = 4096) -> None:
+        if element_size <= 0:
+            raise InvalidParameterError("element_size must be positive")
+        self.code = code
+        self.element_size = element_size
+        self.stripes: list[Stripe] = []
+        self.failed_disks: set[int] = set()
+
+    # -- geometry --------------------------------------------------------------
+
+    @property
+    def elements_per_stripe(self) -> int:
+        return self.code.data_elements_per_stripe
+
+    @property
+    def bytes_per_stripe(self) -> int:
+        return self.elements_per_stripe * self.element_size
+
+    @property
+    def capacity(self) -> int:
+        """Bytes currently addressable (grows on write)."""
+        return len(self.stripes) * self.bytes_per_stripe
+
+    def _locate(self, element_index: int) -> tuple[int, Position]:
+        stripe_idx, offset = divmod(element_index, self.elements_per_stripe)
+        return stripe_idx, self.code.data_positions[offset]
+
+    def _ensure_capacity(self, end_byte: int) -> None:
+        while self.capacity < end_byte:
+            stripe = self.code.make_stripe(self.element_size)
+            self.code.encode(stripe)  # all-zero data, valid parity
+            for disk in self.failed_disks:
+                stripe.erase_disks([disk])
+            self.stripes.append(stripe)
+
+    # -- failure management ----------------------------------------------------------
+
+    def fail_disk(self, disk: int) -> None:
+        """Lose a disk: its column is erased in every stripe."""
+        if not 0 <= disk < self.code.cols:
+            raise InvalidParameterError(
+                f"disk {disk} outside 0..{self.code.cols - 1}"
+            )
+        if disk in self.failed_disks:
+            return
+        if len(self.failed_disks) >= 2:
+            raise UnrecoverableFailureError(
+                "a third concurrent disk failure exceeds RAID-6"
+            )
+        self.failed_disks.add(disk)
+        for stripe in self.stripes:
+            stripe.erase_disks([disk])
+
+    def rebuild(self, disk: int) -> None:
+        """Reconstruct a failed disk's content and bring it back."""
+        if disk not in self.failed_disks:
+            raise InvalidParameterError(f"disk {disk} is not failed")
+        for stripe in self.stripes:
+            restored = self._reconstructed(stripe)
+            for r in range(self.code.rows):
+                stripe.set((r, disk), restored.get((r, disk)))
+        self.failed_disks.discard(disk)
+
+    def scrub(self) -> list[int]:
+        """Verify parity of every healthy stripe; return bad indices."""
+        if self.failed_disks:
+            raise InvalidParameterError("scrub requires a healthy array")
+        return [
+            idx
+            for idx, stripe in enumerate(self.stripes)
+            if not self.code.verify(stripe)
+        ]
+
+    def _reconstructed(self, stripe: Stripe) -> Stripe:
+        """A fully-decoded copy of a (possibly degraded) stripe."""
+        if not stripe.erased.any():
+            return stripe
+        copy = stripe.copy()
+        self.code.decode(copy)
+        return copy
+
+    # -- byte I/O ----------------------------------------------------------------
+
+    def read(self, offset: int, size: int) -> bytes:
+        """Read ``size`` bytes at ``offset`` (degraded reads included)."""
+        if offset < 0 or size < 0:
+            raise InvalidParameterError("offset and size must be >= 0")
+        if offset + size > self.capacity:
+            raise InvalidParameterError(
+                f"read [{offset}, {offset + size}) beyond capacity {self.capacity}"
+            )
+        out = bytearray()
+        cursor = offset
+        remaining = size
+        decoded_cache: dict[int, Stripe] = {}
+        while remaining > 0:
+            element_index, within = divmod(cursor, self.element_size)
+            stripe_idx, pos = self._locate(element_index)
+            chunk = min(remaining, self.element_size - within)
+            stripe = self.stripes[stripe_idx]
+            if not stripe.alive(pos):
+                if stripe_idx not in decoded_cache:
+                    decoded_cache[stripe_idx] = self._reconstructed(stripe)
+                stripe = decoded_cache[stripe_idx]
+            buf = stripe.get(pos)
+            out += bytes(buf[within : within + chunk])
+            cursor += chunk
+            remaining -= chunk
+        return bytes(out)
+
+    def write(self, offset: int, data: bytes) -> None:
+        """Write ``data`` at ``offset``, growing the store as needed."""
+        if offset < 0:
+            raise InvalidParameterError("offset must be >= 0")
+        if not data:
+            return
+        self._ensure_capacity(offset + len(data))
+        cursor = offset
+        view = memoryview(data)
+        consumed = 0
+        while consumed < len(data):
+            element_index, within = divmod(cursor, self.element_size)
+            stripe_idx, pos = self._locate(element_index)
+            chunk = min(len(data) - consumed, self.element_size - within)
+            self._write_element(
+                stripe_idx, pos, within, view[consumed : consumed + chunk]
+            )
+            cursor += chunk
+            consumed += chunk
+
+    def _write_element(
+        self, stripe_idx: int, pos: Position, within: int, piece: memoryview
+    ) -> None:
+        stripe = self.stripes[stripe_idx]
+        if not stripe.erased.any():
+            old = stripe.get(pos)
+            new = old.copy()
+            new[within : within + len(piece)] = bytearray(piece)
+            self.code.update_element(stripe, pos, new)
+            return
+        # Degraded stripe: reconstruct-write.  Apply the update on a
+        # decoded copy, then persist every surviving cell; the failed
+        # columns stay erased but decode to the new content.
+        restored = self._reconstructed(stripe)
+        old = restored.get(pos)
+        new = old.copy()
+        new[within : within + len(piece)] = bytearray(piece)
+        self.code.update_element(restored, pos, new)
+        for r in range(self.code.rows):
+            for c in range(self.code.cols):
+                if c in self.failed_disks:
+                    continue
+                stripe.set((r, c), restored.get((r, c)))
+
+    def __repr__(self) -> str:
+        return (
+            f"FileStore(code={self.code.name}, stripes={len(self.stripes)}, "
+            f"capacity={self.capacity}, failed={sorted(self.failed_disks)})"
+        )

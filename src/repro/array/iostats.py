@@ -1,0 +1,88 @@
+"""Per-disk I/O accounting.
+
+Every experiment in the paper is, at bottom, a statement about how
+many element-sized reads and writes land on each disk.  ``IOStats``
+is the ledger: the RAID volume records into it, and the metrics module
+(load-balancing rate, totals) reads from it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..exceptions import InvalidParameterError
+
+
+@dataclass
+class IOStats:
+    """Read/write counters for an array of ``num_disks`` disks."""
+
+    num_disks: int
+    reads: list[int] = field(default_factory=list)
+    writes: list[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.num_disks <= 0:
+            raise InvalidParameterError("num_disks must be positive")
+        if not self.reads:
+            self.reads = [0] * self.num_disks
+        if not self.writes:
+            self.writes = [0] * self.num_disks
+        if len(self.reads) != self.num_disks or len(self.writes) != self.num_disks:
+            raise InvalidParameterError("counter lists must match num_disks")
+
+    # -- recording -----------------------------------------------------------
+
+    def record_read(self, disk: int, count: int = 1) -> None:
+        self._check(disk, count)
+        self.reads[disk] += count
+
+    def record_write(self, disk: int, count: int = 1) -> None:
+        self._check(disk, count)
+        self.writes[disk] += count
+
+    def _check(self, disk: int, count: int) -> None:
+        if not 0 <= disk < self.num_disks:
+            raise InvalidParameterError(
+                f"disk {disk} outside 0..{self.num_disks - 1}"
+            )
+        if count < 0:
+            raise InvalidParameterError("count must be >= 0")
+
+    # -- aggregate views --------------------------------------------------------
+
+    @property
+    def total_reads(self) -> int:
+        return sum(self.reads)
+
+    @property
+    def total_writes(self) -> int:
+        return sum(self.writes)
+
+    @property
+    def total_requests(self) -> int:
+        return self.total_reads + self.total_writes
+
+    def requests_on(self, disk: int) -> int:
+        self._check(disk, 0)
+        return self.reads[disk] + self.writes[disk]
+
+    def per_disk_requests(self) -> list[int]:
+        return [r + w for r, w in zip(self.reads, self.writes)]
+
+    # -- combination ----------------------------------------------------------------
+
+    def merge(self, other: "IOStats") -> None:
+        """Accumulate another ledger into this one (same array width)."""
+        if other.num_disks != self.num_disks:
+            raise InvalidParameterError("cannot merge stats of different arrays")
+        for d in range(self.num_disks):
+            self.reads[d] += other.reads[d]
+            self.writes[d] += other.writes[d]
+
+    def copy(self) -> "IOStats":
+        return IOStats(self.num_disks, list(self.reads), list(self.writes))
+
+    def reset(self) -> None:
+        self.reads = [0] * self.num_disks
+        self.writes = [0] * self.num_disks

@@ -1,0 +1,73 @@
+"""The simulated-disk latency model.
+
+The paper's testbed: 16 Seagate Savvio 10K.3 SAS disks (300 GB,
+10 kRPM) behind an 800 MB/s fiber link, with 16 MB elements.  We model
+each element-sized request as one positioning delay plus a sequential
+transfer, and serve each disk's requests serially while disks work in
+parallel.  That is deliberately simple — every quantity the paper
+reports in time is dominated by the *maximum per-disk request count*
+and by chain parallelism, both of which this model captures; absolute
+milliseconds are not the target (DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import InvalidParameterError
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Per-request service time for one simulated disk.
+
+    Parameters
+    ----------
+    seek_ms:
+        Positioning overhead per request (seek + rotational delay).
+        ~6 ms matches a 10 kRPM SAS drive.
+    bandwidth_mb_per_s:
+        Sustained sequential transfer rate of one disk.
+    element_size_mb:
+        Size of one code element; the paper uses 16 MB.
+    """
+
+    seek_ms: float = 6.0
+    bandwidth_mb_per_s: float = 120.0
+    element_size_mb: float = 16.0
+
+    def __post_init__(self) -> None:
+        if self.seek_ms < 0:
+            raise InvalidParameterError("seek_ms must be >= 0")
+        if self.bandwidth_mb_per_s <= 0:
+            raise InvalidParameterError("bandwidth must be positive")
+        if self.element_size_mb <= 0:
+            raise InvalidParameterError("element size must be positive")
+
+    @property
+    def element_transfer_seconds(self) -> float:
+        """Pure transfer time of one element."""
+        return self.element_size_mb / self.bandwidth_mb_per_s
+
+    @property
+    def request_seconds(self) -> float:
+        """Service time of one element-sized request (seek + transfer)."""
+        return self.seek_ms / 1000.0 + self.element_transfer_seconds
+
+    def serve(self, n_requests: int) -> float:
+        """Time for one disk to serve ``n_requests`` serially."""
+        if n_requests < 0:
+            raise InvalidParameterError("request count must be >= 0")
+        return n_requests * self.request_seconds
+
+    def recovery_element_seconds(self, chain_reads: int = 0) -> float:
+        """Per-element recovery time ``Re`` for the ``Lc x Re`` model.
+
+        Reconstructing one element XORs previously fetched buffers and
+        writes the result: we charge one request (the write) plus a
+        small fixed XOR cost per chain read.  ``chain_reads`` lets an
+        ablation make ``Re`` chain-length-sensitive; the default
+        matches the paper's constant-``Re`` treatment.
+        """
+        xor_cost = 0.001 * chain_reads
+        return self.request_seconds + xor_cost

@@ -1,0 +1,137 @@
+"""The in-memory stripe: a grid of element buffers with erasure state.
+
+A stripe is the unit over which an array code's equations hold: a
+``rows x cols`` grid where each cell holds one *element* — a byte
+buffer of fixed size (the paper uses 16 MB elements on its testbed;
+tests use a few bytes).  Cells can be *erased* to simulate disk or
+element failures; a code's decoder restores them.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError, SimulationError
+
+#: A cell coordinate: ``(row, col)``, 0-based.
+Position = tuple[int, int]
+
+
+class Stripe:
+    """A rows×cols grid of equally-sized byte elements.
+
+    Parameters
+    ----------
+    rows, cols:
+        Grid dimensions.  ``cols`` is the number of disks the stripe
+        spans; each column lives on one disk.
+    element_size:
+        Bytes per element.  Experiments use the paper's 16 MB mostly
+        symbolically (through the latency model); in-memory buffers in
+        tests are small.
+    """
+
+    def __init__(self, rows: int, cols: int, element_size: int) -> None:
+        if rows <= 0 or cols <= 0:
+            raise InvalidParameterError("stripe dimensions must be positive")
+        if element_size <= 0:
+            raise InvalidParameterError("element_size must be positive")
+        self.rows = rows
+        self.cols = cols
+        self.element_size = element_size
+        self.data = np.zeros((rows, cols, element_size), dtype=np.uint8)
+        self.erased = np.zeros((rows, cols), dtype=bool)
+
+    # -- accessors ------------------------------------------------------------
+
+    def _check(self, pos: Position) -> Position:
+        r, c = pos
+        if not (0 <= r < self.rows and 0 <= c < self.cols):
+            raise InvalidParameterError(
+                f"position {pos} outside {self.rows}x{self.cols} stripe"
+            )
+        return r, c
+
+    def get(self, pos: Position) -> np.ndarray:
+        """The element buffer at ``pos``; fails if the cell is erased."""
+        r, c = self._check(pos)
+        if self.erased[r, c]:
+            raise SimulationError(f"element {pos} is erased")
+        return self.data[r, c]
+
+    def set(self, pos: Position, buf: np.ndarray) -> None:
+        """Overwrite the element at ``pos`` (also clears its erasure)."""
+        r, c = self._check(pos)
+        arr = np.asarray(buf, dtype=np.uint8)
+        if arr.shape != (self.element_size,):
+            raise InvalidParameterError(
+                f"buffer shape {arr.shape} != ({self.element_size},)"
+            )
+        self.data[r, c] = arr
+        self.erased[r, c] = False
+
+    def alive(self, pos: Position) -> bool:
+        r, c = self._check(pos)
+        return not self.erased[r, c]
+
+    # -- erasure --------------------------------------------------------------
+
+    def erase(self, pos: Position) -> None:
+        """Erase one element (content is zeroed to make stale reads loud)."""
+        r, c = self._check(pos)
+        self.erased[r, c] = True
+        self.data[r, c] = 0
+
+    def erase_disks(self, disks: Iterable[int]) -> None:
+        """Erase every element of the given columns (whole-disk failure)."""
+        for d in disks:
+            if not 0 <= d < self.cols:
+                raise InvalidParameterError(f"disk {d} outside 0..{self.cols - 1}")
+            for r in range(self.rows):
+                self.erase((r, d))
+
+    def erased_positions(self) -> list[Position]:
+        """All currently-erased cells, row-major."""
+        rs, cs = np.nonzero(self.erased)
+        return [(int(r), int(c)) for r, c in zip(rs, cs)]
+
+    # -- whole-stripe helpers ----------------------------------------------------
+
+    def xor_of(self, positions: Iterable[Position]) -> np.ndarray:
+        """XOR of the buffers at the given positions (all must be alive)."""
+        acc = np.zeros(self.element_size, dtype=np.uint8)
+        for pos in positions:
+            np.bitwise_xor(acc, self.get(pos), out=acc)
+        return acc
+
+    def copy(self) -> "Stripe":
+        dup = Stripe(self.rows, self.cols, self.element_size)
+        dup.data = self.data.copy()
+        dup.erased = self.erased.copy()
+        return dup
+
+    def fill_random(self, positions: Iterable[Position], seed: int | None = None) -> None:
+        """Fill the given cells with deterministic pseudo-random bytes."""
+        rng = np.random.default_rng(seed)
+        for pos in positions:
+            r, c = self._check(pos)
+            self.data[r, c] = rng.integers(0, 256, self.element_size, dtype=np.uint8)
+            self.erased[r, c] = False
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Stripe)
+            and self.rows == other.rows
+            and self.cols == other.cols
+            and self.element_size == other.element_size
+            and bool(np.array_equal(self.data, other.data))
+            and bool(np.array_equal(self.erased, other.erased))
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Stripe(rows={self.rows}, cols={self.cols}, "
+            f"element_size={self.element_size}, erased={int(self.erased.sum())})"
+        )

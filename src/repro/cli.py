@@ -1,0 +1,121 @@
+"""Command-line entry point: regenerate any paper figure or table.
+
+Examples::
+
+    python -m repro.cli table3
+    python -m repro.cli fig9a
+    python -m repro.cli fig6 --p 13
+    python -m repro.cli all --quick
+    python -m repro.cli layout --code HV --p 7
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .codes.registry import available_codes, get_code
+from .experiments.runner import (
+    EXPERIMENTS,
+    render_results,
+    run_all,
+    run_experiment,
+)
+from .version import PAPER, __version__
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="hvcode-repro",
+        description=f"Reproduce: {PAPER}",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name in EXPERIMENTS:
+        exp = sub.add_parser(name, help=f"regenerate {name}")
+        exp.add_argument("--quick", action="store_true", help="small CI-sized run")
+        _add_output_options(exp)
+        if name in (
+            "fig6",
+            "fig7",
+            "table3",
+            "reliability",
+            "rotation",
+            "zoo",
+            "degraded-writes",
+            "lsweep",
+        ):
+            exp.add_argument("--p", type=int, default=None, help="prime (default 13)")
+        if name in ("fig6", "fig7", "rotation", "degraded-writes", "lsweep"):
+            exp.add_argument("--seed", type=int, default=None)
+            exp.add_argument("--patterns", type=int, default=None)
+
+    everything = sub.add_parser("all", help="regenerate every figure and table")
+    everything.add_argument("--quick", action="store_true")
+    _add_output_options(everything)
+
+    layout = sub.add_parser("layout", help="print a code's stripe layout")
+    layout.add_argument(
+        "--code", default="HV", help=f"one of: {', '.join(available_codes())}"
+    )
+    layout.add_argument("--p", type=int, default=7)
+    return parser
+
+
+def _add_output_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--format",
+        choices=("text", "chart", "json", "csv"),
+        default="text",
+        help="output format; 'chart' draws paper-style grouped bars",
+    )
+    parser.add_argument(
+        "--output", default=None, help="write results to a file instead of stdout"
+    )
+
+
+def _collect_overrides(args: argparse.Namespace) -> dict:
+    overrides = {}
+    if getattr(args, "p", None) is not None:
+        overrides["p"] = args.p
+    if getattr(args, "seed", None) is not None:
+        overrides["seed"] = args.seed
+    if getattr(args, "patterns", None) is not None:
+        overrides["num_patterns"] = args.patterns
+    return overrides
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "layout":
+        code = get_code(args.code, args.p)
+        print(f"{code.name} (p={code.p}): {code.rows}x{code.cols} stripe, "
+              f"{code.data_elements_per_stripe} data elements")
+        print(code.describe_layout())
+        return 0
+
+    started = time.perf_counter()
+    if args.command == "all":
+        results = run_all(quick=args.quick)
+    else:
+        results = run_experiment(
+            args.command, quick=args.quick, **_collect_overrides(args)
+        )
+    rendered = render_results(results, args.format)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(rendered + "\n")
+        print(f"wrote {len(results)} table(s) to {args.output}")
+    else:
+        print(rendered)
+        print()
+    elapsed = time.perf_counter() - started
+    print(f"[{len(results)} table(s) in {elapsed:.1f}s]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

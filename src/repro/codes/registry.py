@@ -1,0 +1,67 @@
+"""Registry of the codes this package implements.
+
+The experiments address codes by short name; the registry is the one
+place that maps names to classes and records which codes take part in
+the paper's evaluation (RDP, HDP, X-Code, H-Code, HV) versus the
+extension baselines (EVENODD, P-Code).
+"""
+
+from __future__ import annotations
+
+from .base import ArrayCode
+from .cauchy import CauchyRSCode
+from .evenodd import EvenOddCode
+from .hcode import HCode
+from .hdp import HDPCode
+from .liberation import LiberationCode
+from .pcode import PCode
+from .rdp import RDPCode
+from .xcode import XCode
+from ..core.hvcode import HVCode
+from ..exceptions import InvalidParameterError
+
+#: name -> class for every XOR array code.  Every class is
+#: instantiable as ``cls(p)``; for Cauchy RS the parameter is the data
+#: disk count (its word size is chosen automatically).
+_REGISTRY: dict[str, type[ArrayCode]] = {
+    "HV": HVCode,
+    "RDP": RDPCode,
+    "HDP": HDPCode,
+    "X-Code": XCode,
+    "H-Code": HCode,
+    "EVENODD": EvenOddCode,
+    "P-Code": PCode,
+    "Liberation": LiberationCode,
+    "Cauchy-RS": CauchyRSCode,
+}
+
+#: The five codes of the paper's evaluation section, in its plot order.
+EVALUATED_CODE_NAMES = ("RDP", "HDP", "X-Code", "H-Code", "HV")
+
+
+def available_codes() -> tuple[str, ...]:
+    """All registered code names."""
+    return tuple(_REGISTRY)
+
+
+def get_code(name: str, p: int) -> ArrayCode:
+    """Instantiate a registered code by name for the prime ``p``."""
+    key = _normalize(name)
+    return _REGISTRY[key](p)
+
+
+def evaluated_codes(p: int) -> list[ArrayCode]:
+    """The paper's five evaluated codes, instantiated for ``p``."""
+    return [get_code(name, p) for name in EVALUATED_CODE_NAMES]
+
+
+def _normalize(name: str) -> str:
+    wanted = name.strip().lower().replace("_", "-")
+    for key in _REGISTRY:
+        if key.lower() == wanted or key.lower().replace("-", "") == wanted.replace(
+            "-", ""
+        ):
+            return key
+    raise InvalidParameterError(
+        f"unknown code {name!r}; available: {', '.join(_REGISTRY)}"
+    )

@@ -1,0 +1,67 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch package-level failures with a single except clause
+while still distinguishing configuration mistakes from unrecoverable
+data-loss conditions.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """A constructor or function argument is out of its legal domain.
+
+    Typical causes: a non-prime ``p``, a prime too small for a code's
+    layout, an element index outside the stripe, or a trace parameter
+    that does not describe a well-formed access pattern.
+    """
+
+
+class NotPrimeError(InvalidParameterError):
+    """The modulus ``p`` supplied to an array code is not prime."""
+
+    def __init__(self, p: int) -> None:
+        super().__init__(f"array codes require a prime p, got p={p}")
+        self.p = p
+
+
+class LayoutError(ReproError):
+    """A code layout is internally inconsistent.
+
+    Raised when a parity-chain definition references a cell outside the
+    stripe, when two parity elements collide on one cell, or when a
+    chain's dependency graph contains a cycle (so no encode order
+    exists).
+    """
+
+
+class DecodeError(ReproError):
+    """Erasure decoding failed.
+
+    Raised when the set of erased elements exceeds the code's
+    correction capability, or when an iterative decoder cannot make
+    progress on a pattern the code should tolerate (which indicates a
+    construction bug — the exhaustive tests rely on this).
+    """
+
+
+class UnrecoverableFailureError(DecodeError):
+    """More disks failed than the code tolerates (> 2 for RAID-6)."""
+
+
+class SimulationError(ReproError):
+    """The disk-array simulator was driven into an illegal state.
+
+    Examples: issuing I/O to a failed disk without degraded mode,
+    addressing past the end of the simulated volume, or replaying a
+    trace whose patterns exceed the volume size.
+    """
+
+
+class WorkloadError(ReproError, ValueError):
+    """A workload trace or access pattern is malformed."""

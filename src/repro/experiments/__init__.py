@@ -1,0 +1,13 @@
+"""Experiment harness: one module per paper figure/table.
+
+- :mod:`repro.experiments.fig6_partial_writes` — Fig. 6(a/b/c).
+- :mod:`repro.experiments.fig7_degraded_read` — Fig. 7(a/b).
+- :mod:`repro.experiments.fig9_recovery` — Fig. 9(a/b).
+- :mod:`repro.experiments.table3_comparison` — Table III.
+- :mod:`repro.experiments.runner` — run everything, render text
+  reports (the CLI's engine).
+"""
+
+from .runner import ExperimentResult, run_experiment, run_all, EXPERIMENTS
+
+__all__ = ["ExperimentResult", "run_experiment", "run_all", "EXPERIMENTS"]

@@ -1,0 +1,153 @@
+"""Fig. 7: degraded-read efficiency (paper Section V.B).
+
+With one disk corrupted, the paper issues 100 read patterns of length
+``L ∈ {1, 5, 10, 15}`` at uniform starts, measures the average pattern
+completion time (Fig. 7(a)) and the I/O efficiency ``L'/L`` —
+elements actually fetched over elements requested — (Fig. 7(b)), then
+takes the expectation over every choice of failed disk.
+
+Implementation note: a pattern decomposes into per-stripe segments,
+and a segment's degraded plan depends only on (failed column, local
+start, segment length).  Plans are cached on that key, which turns the
+``codes x disks x lengths x patterns`` sweep into a few hundred
+planner invocations per code.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+from ..array.latency import LatencyModel
+from ..codes.base import ArrayCode
+from ..codes.registry import evaluated_codes
+from ..recovery.single import plan_degraded_read
+from ..utils import mean
+from ..workloads.degraded import ReadPattern, uniform_read_patterns
+from .runner import ExperimentResult
+
+#: Default logical volume size (in data elements) for Fig. 7 runs.
+DEFAULT_VOLUME_ELEMENTS = 600
+
+
+class _SegmentPlanCache:
+    """Memoized per-stripe degraded-read segment plans for one code."""
+
+    def __init__(self, code: ArrayCode, planner: str) -> None:
+        self.code = code
+        self.planner = planner
+        self._cache: dict[tuple[int, int, int], tuple[tuple[int, ...], int]] = {}
+
+    def segment(
+        self, failed_col: int, local_start: int, seg_len: int
+    ) -> tuple[tuple[int, ...], int]:
+        """Per-disk read counts and L' for one in-stripe segment."""
+        key = (failed_col, local_start, seg_len)
+        hit = self._cache.get(key)
+        if hit is not None:
+            return hit
+        requested = self.code.data_positions[local_start : local_start + seg_len]
+        plan = plan_degraded_read(
+            self.code, failed_col, requested, method=self.planner
+        )
+        counts = [0] * self.code.cols
+        for cell in plan.fetched:
+            counts[cell[1]] += 1
+        result = (tuple(counts), plan.elements_returned)
+        self._cache[key] = result
+        return result
+
+
+def measure_pattern(
+    cache: _SegmentPlanCache,
+    pattern: ReadPattern,
+    failed_disk: int,
+    latency: LatencyModel,
+) -> tuple[float, float]:
+    """(completion seconds, L'/L) of one degraded read pattern."""
+    per_stripe = cache.code.data_elements_per_stripe
+    counts = [0] * cache.code.cols
+    returned = 0
+    index = pattern.start
+    remaining = pattern.length
+    while remaining > 0:
+        local = index % per_stripe
+        seg_len = min(remaining, per_stripe - local)
+        seg_counts, seg_returned = cache.segment(failed_disk, local, seg_len)
+        counts = [a + b for a, b in zip(counts, seg_counts)]
+        returned += seg_returned
+        index += seg_len
+        remaining -= seg_len
+    seconds = latency.serve(max(counts))
+    return seconds, returned / pattern.length
+
+
+def run(
+    p: int = 13,
+    lengths: Sequence[int] = (1, 5, 10, 15),
+    num_patterns: int = 100,
+    volume_elements: int = DEFAULT_VOLUME_ELEMENTS,
+    seed: int = 0,
+    planner: str = "auto",
+    codes: Sequence[ArrayCode] | None = None,
+    latency: LatencyModel | None = None,
+) -> list[ExperimentResult]:
+    """Run the full Fig. 7 experiment; returns results for 7(a/b)."""
+    codes = list(codes) if codes is not None else evaluated_codes(p)
+    latency = latency or LatencyModel()
+    patterns_by_length = {
+        length: uniform_read_patterns(
+            length, volume_elements, num_patterns, seed=seed + length
+        )
+        for length in lengths
+    }
+
+    time_rows: list[list[object]] = []
+    eff_rows: list[list[object]] = []
+    for code in codes:
+        # The volume must cover every pattern; stripes beyond that do
+        # not change per-pattern results.
+        needed = max(pat.end for pats in patterns_by_length.values() for pat in pats)
+        math.ceil(needed / code.data_elements_per_stripe)  # sanity only
+        cache = _SegmentPlanCache(code, planner)
+        time_row: list[object] = [code.name]
+        eff_row: list[object] = [code.name]
+        for length in lengths:
+            seconds: list[float] = []
+            ratios: list[float] = []
+            for failed_disk in range(code.cols):
+                for pattern in patterns_by_length[length]:
+                    s, ratio = measure_pattern(cache, pattern, failed_disk, latency)
+                    seconds.append(s)
+                    ratios.append(ratio)
+            time_row.append(mean(seconds))
+            eff_row.append(mean(ratios))
+        time_rows.append(time_row)
+        eff_rows.append(eff_row)
+
+    params = {
+        "p": p,
+        "num_patterns": num_patterns,
+        "volume_elements": volume_elements,
+        "seed": seed,
+        "planner": planner,
+    }
+    headers = ["code"] + [f"L={length}" for length in lengths]
+    return [
+        ExperimentResult(
+            experiment="fig7a",
+            title="Fig. 7(a) — average time per degraded read pattern (s, simulated)",
+            parameters=params,
+            headers=headers,
+            rows=time_rows,
+            notes="expectation over every failed disk; lower is better",
+        ),
+        ExperimentResult(
+            experiment="fig7b",
+            title="Fig. 7(b) — degraded read I/O efficiency L'/L",
+            parameters=params,
+            headers=headers,
+            rows=eff_rows,
+            notes="elements fetched over elements requested; 1.0 is ideal",
+        ),
+    ]

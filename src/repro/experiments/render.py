@@ -1,0 +1,82 @@
+"""Plain-text table rendering for experiment reports."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def _format_cell(value: object, float_digits: int) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == float("inf"):
+            return "inf"
+        return f"{value:.{float_digits}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+    float_digits: int = 3,
+) -> str:
+    """Render an aligned ASCII table.
+
+    Numbers are right-aligned, text left-aligned; floats print with a
+    fixed number of digits so code-to-code comparisons line up.
+    """
+    cells = [[_format_cell(v, float_digits) for v in row] for row in rows]
+    widths = [
+        max(len(str(headers[c])), *(len(row[c]) for row in cells)) if cells else len(str(headers[c]))
+        for c in range(len(headers))
+    ]
+
+    def align(text: str, col: int, original: object) -> str:
+        if isinstance(original, (int, float)) and not isinstance(original, bool):
+            return text.rjust(widths[col])
+        return text.ljust(widths[col])
+
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(str(h).ljust(widths[c]) for c, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for raw, formatted in zip(rows, cells):
+        lines.append(
+            "  ".join(align(formatted[c], c, raw[c]) for c in range(len(headers)))
+        )
+    return "\n".join(lines)
+
+
+def format_bar_chart(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+    width: int = 44,
+    float_digits: int = 3,
+) -> str:
+    """Render a grouped horizontal bar chart, like the paper's figures.
+
+    The first column labels each series (the code names); every other
+    column becomes one group of bars, scaled to the group's maximum —
+    which is exactly how one reads the paper's grouped bar charts:
+    within a group, who is tallest and by what ratio.
+    """
+    lines = []
+    if title:
+        lines.append(title)
+    label_width = max(len(str(row[0])) for row in rows) if rows else 4
+    for col in range(1, len(headers)):
+        values = []
+        for row in rows:
+            v = row[col]
+            values.append(float(v) if isinstance(v, (int, float)) else 0.0)
+        top = max(values) if values and max(values) > 0 else 1.0
+        lines.append(f"{headers[col]}:")
+        for row, value in zip(rows, values):
+            bar = "#" * max(1, round(width * value / top)) if value > 0 else ""
+            rendered = _format_cell(row[col], float_digits)
+            lines.append(f"  {str(row[0]).ljust(label_width)} {bar} {rendered}")
+    return "\n".join(lines)

@@ -1,0 +1,192 @@
+"""Experiment result container and the run-everything driver."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import dataclass
+
+from ..exceptions import InvalidParameterError
+from .render import format_bar_chart, format_table
+
+
+@dataclass
+class ExperimentResult:
+    """One rendered table of one paper figure/table.
+
+    Attributes
+    ----------
+    experiment:
+        Short id (``fig6a`` ... ``table3``) used by the CLI.
+    title:
+        Human-readable caption echoing the paper's figure caption.
+    parameters:
+        The run's parameters (p, seeds, trace sizes ...).
+    headers / rows:
+        The table body; first column is conventionally the code name.
+    notes:
+        One-line reading aid (what the metric means, which way is
+        better).
+    """
+
+    experiment: str
+    title: str
+    parameters: dict
+    headers: list[str]
+    rows: list[list]
+    notes: str = ""
+
+    def to_text(self, float_digits: int = 3) -> str:
+        parts = [format_table(self.headers, self.rows, self.title, float_digits)]
+        if self.notes:
+            parts.append(f"  note: {self.notes}")
+        if self.parameters:
+            rendered = ", ".join(f"{k}={v}" for k, v in self.parameters.items())
+            parts.append(f"  params: {rendered}")
+        return "\n".join(parts)
+
+    def to_chart(self, float_digits: int = 3) -> str:
+        """Grouped ASCII bars, mirroring the paper's figure style."""
+        return format_bar_chart(
+            self.headers, self.rows, self.title, float_digits=float_digits
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (plots, dashboards, regressions)."""
+        return {
+            "experiment": self.experiment,
+            "title": self.title,
+            "parameters": dict(self.parameters),
+            "headers": list(self.headers),
+            "rows": [list(row) for row in self.rows],
+            "notes": self.notes,
+        }
+
+    def to_csv(self) -> str:
+        """The table body as CSV (one header row + data rows)."""
+        buf = io.StringIO()
+        writer = csv.writer(buf)
+        writer.writerow(self.headers)
+        writer.writerows(self.rows)
+        return buf.getvalue()
+
+    def column(self, header: str) -> list:
+        """Extract one column by header name (test/plot helper)."""
+        try:
+            idx = self.headers.index(header)
+        except ValueError as exc:
+            raise InvalidParameterError(
+                f"no column {header!r}; have {self.headers}"
+            ) from exc
+        return [row[idx] for row in self.rows]
+
+    def row_for(self, key: str) -> list:
+        """Extract the row whose first cell equals ``key``."""
+        for row in self.rows:
+            if row and row[0] == key:
+                return row
+        raise InvalidParameterError(f"no row {key!r} in {self.experiment}")
+
+
+def run_experiment(name: str, quick: bool = False, **overrides) -> list[ExperimentResult]:
+    """Run one experiment by id; ``quick`` shrinks workloads for CI.
+
+    Accepted ids: ``fig6``, ``fig7``, ``fig9a``, ``fig9b``, ``table3``.
+    Keyword overrides are passed through to the experiment's ``run``.
+    """
+    from . import all_codes_comparison, degraded_writes, fig6_partial_writes
+    from . import fig7_degraded_read, fig9_recovery, rebuild_time
+    from . import reliability_analysis, rotation_ablation, table3_comparison
+    from . import write_length_sweep
+
+    key = name.strip().lower()
+    if key == "lsweep":
+        params = {"p": 7, "num_patterns": 60} if quick else {}
+        params.update(overrides)
+        return [write_length_sweep.run(**params)]
+    if key == "degraded-writes":
+        params = {"p": 7, "num_patterns": 50} if quick else {}
+        params.update(overrides)
+        return [degraded_writes.run(**params)]
+    if key == "rebuild":
+        params = {"primes": (5, 7)} if quick else {}
+        params.update(overrides)
+        return [rebuild_time.run(**params)]
+    if key == "zoo":
+        params = {"p": 5} if quick else {}
+        params.update(overrides)
+        return [all_codes_comparison.run(**params)]
+    if key == "reliability":
+        params = {"p": 7} if quick else {}
+        params.update(overrides)
+        return [reliability_analysis.run(**params)]
+    if key == "rotation":
+        params = {"p": 7, "num_patterns": 100} if quick else {}
+        params.update(overrides)
+        return [rotation_ablation.run(**params)]
+    if key == "fig6":
+        params = {"num_patterns": 100, "p": 7} if quick else {}
+        params.update(overrides)
+        return fig6_partial_writes.run(**params)
+    if key == "fig7":
+        params = {"num_patterns": 20, "p": 7} if quick else {}
+        params.update(overrides)
+        return fig7_degraded_read.run(**params)
+    if key == "fig9a":
+        params = {"primes": (5, 7, 11)} if quick else {}
+        params.update(overrides)
+        return [fig9_recovery.run_fig9a(**params)]
+    if key == "fig9b":
+        params = {"primes": (5, 7, 11)} if quick else {}
+        params.update(overrides)
+        return [fig9_recovery.run_fig9b(**params)]
+    if key == "table3":
+        params = {"p": 7} if quick else {}
+        params.update(overrides)
+        return [table3_comparison.run(**params)]
+    raise InvalidParameterError(
+        f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}"
+    )
+
+
+#: Experiment ids in paper order, plus the extensions.
+EXPERIMENTS = (
+    "fig6",
+    "fig7",
+    "fig9a",
+    "fig9b",
+    "table3",
+    "reliability",
+    "rotation",
+    "rebuild",
+    "zoo",
+    "degraded-writes",
+    "lsweep",
+)
+
+
+def run_all(quick: bool = False) -> list[ExperimentResult]:
+    """Every figure and table, in paper order."""
+    results: list[ExperimentResult] = []
+    for name in EXPERIMENTS:
+        results.extend(run_experiment(name, quick=quick))
+    return results
+
+
+def render_results(results: list[ExperimentResult], fmt: str = "text") -> str:
+    """Render a result batch as ``text``, ``json`` or ``csv``."""
+    if fmt == "text":
+        return "\n\n".join(r.to_text() for r in results)
+    if fmt == "chart":
+        return "\n\n".join(r.to_chart() for r in results)
+    if fmt == "json":
+        return json.dumps([r.to_dict() for r in results], indent=2)
+    if fmt == "csv":
+        blocks = []
+        for r in results:
+            blocks.append(f"# {r.experiment}: {r.title}\n{r.to_csv()}")
+        return "\n".join(blocks)
+    raise InvalidParameterError(
+        f"unknown format {fmt!r}; use text/chart/json/csv"
+    )

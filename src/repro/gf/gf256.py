@@ -1,0 +1,81 @@
+"""Vectorized ``GF(2^8)`` arithmetic on numpy byte arrays.
+
+This is the substrate for the Reed-Solomon P+Q RAID-6 baseline: the
+Q parity is ``sum_i g^i * D_i`` where the products are computed over
+whole element buffers at once with table lookups.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .gfw import GF2w
+
+
+class GF256:
+    """``GF(2^8)`` with numpy-vectorized bulk operations.
+
+    Scalar arithmetic delegates to :class:`GF2w`; the bulk methods
+    (:meth:`mul_bytes`, :meth:`mul_add_bytes`) operate on ``uint8``
+    arrays of arbitrary shape, which is how parity is computed over
+    16 MB elements without a Python-level loop.
+    """
+
+    def __init__(self) -> None:
+        self.field = GF2w(8)
+        self.size = 256
+        # Precompute the full 256x256 multiplication table: 64 KiB,
+        # turns bulk multiply-by-constant into one fancy-index.
+        exp = np.array(self.field._exp, dtype=np.int32)
+        log = np.array(self.field._log[: self.size], dtype=np.int32)
+        table = np.zeros((self.size, self.size), dtype=np.uint8)
+        nz = np.arange(1, self.size)
+        idx = log[nz][:, None] + log[nz][None, :]
+        table[1:, 1:] = exp[idx].astype(np.uint8)
+        self._mul_table = table
+
+    # -- scalar ops ---------------------------------------------------------
+
+    def add(self, a: int, b: int) -> int:
+        return a ^ b
+
+    def mul(self, a: int, b: int) -> int:
+        return int(self._mul_table[a, b])
+
+    def div(self, a: int, b: int) -> int:
+        return self.field.div(a, b)
+
+    def inverse(self, a: int) -> int:
+        return self.field.inverse(a)
+
+    def pow(self, a: int, n: int) -> int:
+        return self.field.pow(a, n)
+
+    def generator_power(self, i: int) -> int:
+        """``g^i`` for the field generator g = 2."""
+        return self.field.exp(i)
+
+    # -- bulk ops on byte buffers --------------------------------------------
+
+    def mul_bytes(self, c: int, data: np.ndarray) -> np.ndarray:
+        """Multiply every byte of ``data`` by the constant ``c``."""
+        buf = np.asarray(data, dtype=np.uint8)
+        if c == 0:
+            return np.zeros_like(buf)
+        if c == 1:
+            return buf.copy()
+        return self._mul_table[c][buf]
+
+    def mul_add_bytes(self, acc: np.ndarray, c: int, data: np.ndarray) -> None:
+        """In-place ``acc ^= c * data`` over byte buffers."""
+        buf = np.asarray(data, dtype=np.uint8)
+        if c == 0:
+            return
+        if c == 1:
+            np.bitwise_xor(acc, buf, out=acc)
+        else:
+            np.bitwise_xor(acc, self._mul_table[c][buf], out=acc)
+
+
+#: Module-level shared instance (the tables are immutable).
+gf256 = GF256()

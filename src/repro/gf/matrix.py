@@ -1,0 +1,98 @@
+"""Dense matrix algebra over ``GF(2^w)``.
+
+Implements exactly what an erasure-coding stack needs: matrix-matrix
+and matrix-vector products, Gauss-Jordan inversion, and the classic
+Vandermonde / Cauchy generator constructions.  Matrices are plain
+nested lists of ints; sizes here are at most tens on a side, so
+clarity beats vectorization.
+"""
+
+from __future__ import annotations
+
+from .gfw import GF2w
+from ..exceptions import InvalidParameterError
+
+
+def gf_identity(n: int) -> list[list[int]]:
+    """The n×n identity matrix."""
+    return [[1 if i == j else 0 for j in range(n)] for i in range(n)]
+
+
+def gf_matmul(field: GF2w, a: list[list[int]], b: list[list[int]]) -> list[list[int]]:
+    """Matrix product over the field."""
+    if not a or not b or len(a[0]) != len(b):
+        raise InvalidParameterError("incompatible matrix shapes")
+    n, k, m = len(a), len(b), len(b[0])
+    out = [[0] * m for _ in range(n)]
+    for i in range(n):
+        row = a[i]
+        for t in range(k):
+            c = row[t]
+            if c == 0:
+                continue
+            brow = b[t]
+            orow = out[i]
+            for j in range(m):
+                if brow[j]:
+                    orow[j] ^= field.mul(c, brow[j])
+    return out
+
+
+def gf_matvec(field: GF2w, a: list[list[int]], v: list[int]) -> list[int]:
+    """Matrix-vector product over the field."""
+    if not a or len(a[0]) != len(v):
+        raise InvalidParameterError("incompatible matrix/vector shapes")
+    out = []
+    for row in a:
+        acc = 0
+        for c, x in zip(row, v):
+            if c and x:
+                acc ^= field.mul(c, x)
+        out.append(acc)
+    return out
+
+
+def gf_invert(field: GF2w, a: list[list[int]]) -> list[list[int]]:
+    """Gauss-Jordan inversion; raises if the matrix is singular."""
+    n = len(a)
+    if any(len(row) != n for row in a):
+        raise InvalidParameterError("matrix must be square")
+    aug = [list(row) + ident for row, ident in zip(a, gf_identity(n))]
+    for col in range(n):
+        pivot = next((r for r in range(col, n) if aug[r][col]), None)
+        if pivot is None:
+            raise InvalidParameterError("matrix is singular over GF(2^w)")
+        aug[col], aug[pivot] = aug[pivot], aug[col]
+        inv = field.inverse(aug[col][col])
+        aug[col] = [field.mul(inv, x) for x in aug[col]]
+        for r in range(n):
+            if r != col and aug[r][col]:
+                c = aug[r][col]
+                aug[r] = [x ^ field.mul(c, y) for x, y in zip(aug[r], aug[col])]
+    return [row[n:] for row in aug]
+
+
+def vandermonde(field: GF2w, rows: int, cols: int) -> list[list[int]]:
+    """The rows×cols Vandermonde matrix ``V[i][j] = (g^j)^i``.
+
+    Classic Reed-Solomon generator (any square submatrix of the first
+    two rows plus identity is invertible for RAID-6-sized systems).
+    """
+    return [
+        [field.pow(field.exp(j), i) for j in range(cols)]
+        for i in range(rows)
+    ]
+
+
+def cauchy_matrix(field: GF2w, xs: list[int], ys: list[int]) -> list[list[int]]:
+    """Cauchy matrix ``C[i][j] = 1 / (x_i + y_j)``.
+
+    Requires all ``x_i`` distinct, all ``y_j`` distinct, and the two
+    sets disjoint; every square submatrix of a Cauchy matrix is
+    invertible, which is what makes Cauchy Reed-Solomon MDS.
+    """
+    if len(set(xs)) != len(xs) or len(set(ys)) != len(ys):
+        raise InvalidParameterError("Cauchy coordinates must be distinct")
+    if set(xs) & set(ys):
+        raise InvalidParameterError("Cauchy x and y sets must be disjoint")
+    return [[field.inverse(x ^ y) for y in ys] for x in xs]

@@ -1,0 +1,119 @@
+"""Polynomials over ``GF(2^w)``.
+
+Used by the Reed-Solomon baseline's tests (syndrome checks, Lagrange
+interpolation as an independent decode oracle) and generally useful for
+anyone extending the package with more algebraic codes.
+"""
+
+from __future__ import annotations
+
+from .gfw import GF2w
+from ..exceptions import InvalidParameterError
+
+
+class Polynomial:
+    """A polynomial with coefficients in a :class:`GF2w` field.
+
+    Coefficients are stored low-order first: ``coeffs[i]`` multiplies
+    ``x^i``.  The zero polynomial has an empty coefficient list and
+    degree -1.
+    """
+
+    def __init__(self, field: GF2w, coeffs) -> None:
+        self.field = field
+        cs = list(coeffs)
+        while cs and cs[-1] == 0:
+            cs.pop()
+        self.coeffs = cs
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def zero(cls, field: GF2w) -> "Polynomial":
+        return cls(field, [])
+
+    @classmethod
+    def constant(cls, field: GF2w, c: int) -> "Polynomial":
+        return cls(field, [c])
+
+    @classmethod
+    def monomial(cls, field: GF2w, degree: int, c: int = 1) -> "Polynomial":
+        return cls(field, [0] * degree + [c])
+
+    @classmethod
+    def interpolate(cls, field: GF2w, points) -> "Polynomial":
+        """Lagrange interpolation through ``(x, y)`` pairs.
+
+        The x coordinates must be distinct.  Runs in O(n^2), which is
+        plenty for RAID-6-sized systems.
+        """
+        pts = list(points)
+        xs = [x for x, _ in pts]
+        if len(set(xs)) != len(xs):
+            raise InvalidParameterError("interpolation points must have distinct x")
+        result = cls.zero(field)
+        for i, (xi, yi) in enumerate(pts):
+            if yi == 0:
+                continue
+            basis = cls.constant(field, 1)
+            denom = 1
+            for j, (xj, _) in enumerate(pts):
+                if j == i:
+                    continue
+                basis = basis * cls(field, [xj, 1])  # (x - xj) == (x + xj)
+                denom = field.mul(denom, field.add(xi, xj))
+            scale = field.div(yi, denom)
+            result = result + basis.scale(scale)
+        return result
+
+    # -- basic properties ------------------------------------------------------
+
+    @property
+    def degree(self) -> int:
+        return len(self.coeffs) - 1
+
+    def is_zero(self) -> bool:
+        return not self.coeffs
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Polynomial) and self.coeffs == other.coeffs
+
+    def __hash__(self) -> int:
+        return hash(tuple(self.coeffs))
+
+    # -- arithmetic -------------------------------------------------------------
+
+    def __add__(self, other: "Polynomial") -> "Polynomial":
+        n = max(len(self.coeffs), len(other.coeffs))
+        out = []
+        for i in range(n):
+            a = self.coeffs[i] if i < len(self.coeffs) else 0
+            b = other.coeffs[i] if i < len(other.coeffs) else 0
+            out.append(a ^ b)
+        return Polynomial(self.field, out)
+
+    __sub__ = __add__
+
+    def scale(self, c: int) -> "Polynomial":
+        return Polynomial(self.field, [self.field.mul(c, a) for a in self.coeffs])
+
+    def __mul__(self, other: "Polynomial") -> "Polynomial":
+        if self.is_zero() or other.is_zero():
+            return Polynomial.zero(self.field)
+        out = [0] * (len(self.coeffs) + len(other.coeffs) - 1)
+        for i, a in enumerate(self.coeffs):
+            if a == 0:
+                continue
+            for j, b in enumerate(other.coeffs):
+                out[i + j] ^= self.field.mul(a, b)
+        return Polynomial(self.field, out)
+
+    def evaluate(self, x: int) -> int:
+        """Horner evaluation at the point ``x``."""
+        acc = 0
+        for c in reversed(self.coeffs):
+            acc = self.field.mul(acc, x) ^ c
+        return acc
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Polynomial({self.coeffs})"

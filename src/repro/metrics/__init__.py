@@ -1,0 +1,21 @@
+"""Metrics the paper evaluates on.
+
+- :mod:`repro.metrics.balance` — the load-balancing rate λ (Eq. 7).
+- :mod:`repro.metrics.io_count` — I/O request aggregation over
+  pattern results.
+- :mod:`repro.metrics.timing` — completion-time aggregation.
+"""
+
+from .balance import load_balancing_rate, parity_distribution
+from .io_count import total_induced_writes, total_reads, writes_per_disk
+from .timing import average_seconds, total_seconds
+
+__all__ = [
+    "load_balancing_rate",
+    "parity_distribution",
+    "total_induced_writes",
+    "total_reads",
+    "writes_per_disk",
+    "average_seconds",
+    "total_seconds",
+]

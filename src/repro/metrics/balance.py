@@ -1,0 +1,55 @@
+"""Load-balancing metrics (paper Eq. 7 and Section IV.3).
+
+The paper's load-balancing rate is
+
+    λ = max_i R_i / min_i R_i
+
+over the per-disk request counts ``R_i`` of a trace.  λ = 1 is the
+perfect balance HV / HDP / X-Code achieve; dedicated-parity layouts
+(RDP, H-Code) drive it up.  A disk that received no requests at all
+makes λ infinite — that is reported honestly rather than clamped.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from typing import TYPE_CHECKING
+
+from ..exceptions import InvalidParameterError
+
+if TYPE_CHECKING:
+    from ..codes.base import ArrayCode
+
+
+def load_balancing_rate(per_disk_requests: Sequence[int]) -> float:
+    """The paper's λ: max over min of per-disk request counts."""
+    if not per_disk_requests:
+        raise InvalidParameterError("need at least one disk count")
+    if any(c < 0 for c in per_disk_requests):
+        raise InvalidParameterError("request counts must be >= 0")
+    top = max(per_disk_requests)
+    bottom = min(per_disk_requests)
+    if top == 0:
+        return 1.0  # an idle array is trivially balanced
+    if bottom == 0:
+        return math.inf
+    return top / bottom
+
+
+def parity_distribution(code: "ArrayCode") -> list[int]:
+    """Parity elements per disk — the static side of load balance.
+
+    HV, HDP, X-Code place exactly two parities on every disk; RDP and
+    H-Code concentrate them, which is the structural cause of their
+    write imbalance.
+    """
+    counts = [0] * code.cols
+    for pos in code.parity_positions:
+        counts[pos[1]] += 1
+    return counts
+
+
+def is_parity_balanced(code: "ArrayCode") -> bool:
+    """True when every disk carries the same number of parities."""
+    return len(set(parity_distribution(code))) == 1

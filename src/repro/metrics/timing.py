@@ -1,0 +1,23 @@
+"""Completion-time aggregation over executed pattern results."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import TYPE_CHECKING
+
+from ..exceptions import InvalidParameterError
+
+if TYPE_CHECKING:
+    from ..array.raid import PatternResult
+
+
+def total_seconds(results: Sequence["PatternResult"]) -> float:
+    """Sum of pattern completion times (patterns run back-to-back)."""
+    return sum(r.seconds for r in results)
+
+
+def average_seconds(results: Sequence["PatternResult"]) -> float:
+    """Fig. 6(c) / 7(a): mean completion time of one pattern."""
+    if not results:
+        raise InvalidParameterError("no pattern results to average")
+    return total_seconds(results) / len(results)

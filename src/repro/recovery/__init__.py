@@ -1,0 +1,34 @@
+"""Erasure-recovery engines and I/O-minimal recovery planners.
+
+- :mod:`repro.recovery.peeling` — the symbolic peeling scheduler: which
+  lost cells become solvable in which parallel round.  It powers both
+  the generic decoder and the double-failure parallelism analysis.
+- :mod:`repro.recovery.gauss` — helpers around the Gaussian reference
+  decoder (the universal XOR decoder).
+- :mod:`repro.recovery.single` — minimal-I/O single-disk recovery and
+  degraded reads: the hybrid parity-chain selection of Xiang et al.
+  (SIGMETRICS'10), solved exactly as a small integer program with a
+  greedy fallback.
+- :mod:`repro.recovery.double` — double-disk failure analysis: recovery
+  chains, parallel rounds, and the paper's ``Lc x Re`` time model.
+"""
+
+from .peeling import PeelSchedule, peel_schedule
+from .single import (
+    SingleDiskRecoveryPlan,
+    DegradedReadPlan,
+    plan_single_disk_recovery,
+    plan_degraded_read,
+)
+from .double import DoubleFailureAnalysis, analyze_double_failure
+
+__all__ = [
+    "PeelSchedule",
+    "peel_schedule",
+    "SingleDiskRecoveryPlan",
+    "DegradedReadPlan",
+    "plan_single_disk_recovery",
+    "plan_degraded_read",
+    "DoubleFailureAnalysis",
+    "analyze_double_failure",
+]

@@ -1,0 +1,417 @@
+"""Minimal-I/O single-disk recovery and degraded reads.
+
+For a single failed disk, each lost element can be repaired through any
+of its parity chains whose other cells survive; picking *which* chain
+per element so that the retrieved cells overlap as much as possible is
+the hybrid-recovery optimization of Xiang et al. (SIGMETRICS'10) that
+the paper's Fig. 9(a) applies to every code.
+
+The selection problem — minimize the union of read cells subject to
+one chain choice per lost element — is a tiny set-union integer
+program.  We solve it *exactly* with ``scipy.optimize.milp`` (the
+default), with a greedy + local-search fallback and an exhaustive
+checker used by the tests; the benchmarks compare the three
+(``bench_ablation_recovery_planner``).
+
+Degraded reads (Fig. 7) reuse the same optimizer with one twist: cells
+the read pattern already fetches are free, so the objective only
+counts *extra* cells.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+from itertools import product
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..exceptions import DecodeError, InvalidParameterError
+from ..utils import mean
+
+if TYPE_CHECKING:  # imported lazily to avoid a codes<->recovery cycle
+    from ..codes.base import ArrayCode, ParityChain
+
+#: A cell coordinate ``(row, col)``, 0-based.
+Position = tuple[int, int]
+
+#: Max candidate combinations the exhaustive planner will enumerate.
+EXHAUSTIVE_LIMIT = 1 << 14
+
+
+@dataclass
+class SingleDiskRecoveryPlan:
+    """A concrete repair plan for one failed disk.
+
+    Attributes
+    ----------
+    choices:
+        For every lost cell, the parity chain used to repair it.
+    reads:
+        The distinct surviving cells retrieved (union over choices).
+    method:
+        Planner that produced it (``milp``, ``greedy``, ``exhaustive``).
+    """
+
+    code_name: str
+    failed_disk: int
+    choices: dict[Position, ParityChain]
+    reads: frozenset[Position]
+    method: str
+
+    @property
+    def total_reads(self) -> int:
+        return len(self.reads)
+
+    @property
+    def reads_per_lost_element(self) -> float:
+        return len(self.reads) / len(self.choices)
+
+
+@dataclass
+class DegradedReadPlan:
+    """What a degraded read pattern actually fetches.
+
+    ``fetched`` is the paper's ``L'`` cell set: the alive requested
+    cells plus every extra cell needed to rebuild the lost requested
+    cells; ``efficiency`` is ``L'/L``.
+    """
+
+    failed_disk: int
+    requested: tuple[Position, ...]
+    lost: tuple[Position, ...]
+    choices: dict[Position, ParityChain]
+    fetched: frozenset[Position]
+
+    @property
+    def extra_reads(self) -> frozenset[Position]:
+        alive_requested = {c for c in self.requested if c not in set(self.lost)}
+        return frozenset(self.fetched - alive_requested)
+
+    @property
+    def elements_returned(self) -> int:
+        """The paper's ``L'``."""
+        return len(self.fetched)
+
+    @property
+    def efficiency(self) -> float:
+        """The paper's ``L'/L`` (1.0 when nothing extra was needed)."""
+        return len(self.fetched) / len(self.requested)
+
+
+def plan_single_disk_recovery(
+    code: ArrayCode,
+    failed_disk: int,
+    method: str = "milp",
+) -> SingleDiskRecoveryPlan:
+    """Minimal-read repair plan for the loss of ``failed_disk``."""
+    if not 0 <= failed_disk < code.cols:
+        raise InvalidParameterError(
+            f"disk {failed_disk} outside 0..{code.cols - 1}"
+        )
+    lost = [(r, failed_disk) for r in range(code.rows)]
+    candidates = _candidates(code, lost)
+    choices, reads = _minimize_reads(candidates, free=frozenset(), method=method)
+    return SingleDiskRecoveryPlan(
+        code_name=code.name,
+        failed_disk=failed_disk,
+        choices=choices,
+        reads=reads,
+        method=method,
+    )
+
+
+def expected_recovery_reads_per_element(code: ArrayCode, method: str = "milp") -> float:
+    """Fig. 9(a)'s metric: reads per lost element, averaged over disks."""
+    return mean(
+        plan_single_disk_recovery(code, d, method=method).reads_per_lost_element
+        for d in range(code.cols)
+    )
+
+
+def plan_degraded_read(
+    code: ArrayCode,
+    failed_disk: int,
+    requested: Sequence[Position],
+    method: str = "milp",
+) -> DegradedReadPlan:
+    """Plan a read of ``requested`` data cells with ``failed_disk`` down."""
+    if not requested:
+        raise InvalidParameterError("degraded read needs at least one cell")
+    requested = tuple(requested)
+    lost = tuple(c for c in requested if c[1] == failed_disk)
+    alive_requested = frozenset(c for c in requested if c[1] != failed_disk)
+    if not lost:
+        return DegradedReadPlan(
+            failed_disk=failed_disk,
+            requested=requested,
+            lost=(),
+            choices={},
+            fetched=frozenset(requested),
+        )
+    candidates = _candidates(code, lost)
+    choices, reads = _minimize_reads(candidates, free=alive_requested, method=method)
+    return DegradedReadPlan(
+        failed_disk=failed_disk,
+        requested=requested,
+        lost=lost,
+        choices=choices,
+        fetched=frozenset(alive_requested | reads),
+    )
+
+
+# -- planner internals ------------------------------------------------------------
+
+
+def _candidates(
+    code: ArrayCode, lost: Iterable[Position]
+) -> dict[Position, list[ParityChain]]:
+    """Usable repair equations per lost cell (other members all alive)."""
+    lost_set = set(lost)
+    table: dict[Position, list[ParityChain]] = {}
+    for cell in lost_set:
+        options = [
+            chain
+            for chain in code.chains
+            if cell in chain.equation_cells
+            and all(c == cell or c not in lost_set for c in chain.equation_cells)
+        ]
+        if not options:
+            raise DecodeError(
+                f"{code.name}: no single-pass repair equation for {cell}"
+            )
+        table[cell] = options
+    return table
+
+
+def _minimize_reads(
+    candidates: dict[Position, list[ParityChain]],
+    free: frozenset[Position],
+    method: str,
+) -> tuple[dict[Position, ParityChain], frozenset[Position]]:
+    """Choose one equation per lost cell minimizing chargeable reads."""
+    if method == "auto":
+        # With a single lost cell the greedy pick (cheapest chain given
+        # the free set) is already optimal; the integer program only
+        # earns its overhead when choices interact through overlap.
+        method = "greedy" if len(candidates) == 1 else "milp"
+    if method == "milp":
+        result = _solve_milp(candidates, free)
+    elif method == "greedy":
+        result = _solve_greedy(candidates, free)
+    elif method == "exhaustive":
+        result = _solve_exhaustive(candidates, free)
+    else:
+        raise InvalidParameterError(f"unknown planner method {method!r}")
+    choices = result
+    reads: set[Position] = set()
+    lost_set = set(candidates)
+    for cell, chain in choices.items():
+        reads |= {c for c in chain.equation_cells if c != cell}
+    # Reads never include lost cells (candidates guarantee it), but a
+    # chain may read a cell another choice repairs? No: every other
+    # member is alive by construction.
+    assert not (reads & lost_set)
+    return choices, frozenset(reads)
+
+
+def _reads_of(cell: Position, chain: ParityChain) -> frozenset[Position]:
+    return frozenset(c for c in chain.equation_cells if c != cell)
+
+
+def _cost(choices: dict[Position, ParityChain], free: frozenset[Position]) -> int:
+    union: set[Position] = set()
+    for cell, chain in choices.items():
+        union |= _reads_of(cell, chain)
+    return len(union - free)
+
+
+def _solve_exhaustive(
+    candidates: dict[Position, list[ParityChain]],
+    free: frozenset[Position],
+) -> dict[Position, ParityChain]:
+    cells = sorted(candidates)
+    combos = 1
+    for cell in cells:
+        combos *= len(candidates[cell])
+        if combos > EXHAUSTIVE_LIMIT:
+            raise InvalidParameterError(
+                f"exhaustive planner: {combos}+ combinations exceed "
+                f"limit {EXHAUSTIVE_LIMIT}; use milp"
+            )
+    best: dict[Position, ParityChain] | None = None
+    best_cost = None
+    for combo in product(*(candidates[c] for c in cells)):
+        choices = dict(zip(cells, combo))
+        cost = _cost(choices, free)
+        if best_cost is None or cost < best_cost:
+            best, best_cost = choices, cost
+    assert best is not None
+    return best
+
+
+#: Construction orders tried by the greedy planner before keeping the
+#: best local optimum.  More restarts close the gap to the integer
+#: optimum at the price of linear extra work.
+GREEDY_RESTARTS = 12
+
+
+def _solve_greedy(
+    candidates: dict[Position, list[ParityChain]],
+    free: frozenset[Position],
+) -> dict[Position, ParityChain]:
+    """Randomized-restart greedy with local search.
+
+    Each restart builds a marginal-cost greedy assignment in a
+    different element order (rotations plus seeded shuffles — fully
+    deterministic), then improves it with single-element moves to a
+    local optimum; the cheapest local optimum wins.  Measured against
+    the MILP this stays within ~1% on every evaluated code/prime.
+    """
+    cells = sorted(candidates)
+    orders: list[list[Position]] = []
+    for k in range(min(len(cells), GREEDY_RESTARTS // 2) or 1):
+        orders.append(cells[k:] + cells[:k])
+    rng = np.random.default_rng(1729)
+    while len(orders) < GREEDY_RESTARTS:
+        shuffled = list(cells)
+        rng.shuffle(shuffled)
+        orders.append(shuffled)
+
+    best: dict[Position, ParityChain] | None = None
+    best_cost: int | None = None
+    for order in orders:
+        choices = _greedy_construct(order, candidates, free)
+        cost = _local_search(choices, candidates, free)
+        if best_cost is None or cost < best_cost:
+            best, best_cost = dict(choices), cost
+    assert best is not None
+    return best
+
+
+def _greedy_construct(
+    order: list[Position],
+    candidates: dict[Position, list[ParityChain]],
+    free: frozenset[Position],
+) -> dict[Position, ParityChain]:
+    fetched: set[Position] = set(free)
+    choices: dict[Position, ParityChain] = {}
+    for cell in order:
+        chain = min(
+            candidates[cell],
+            key=lambda ch: len(_reads_of(cell, ch) - fetched),
+        )
+        choices[cell] = chain
+        fetched |= _reads_of(cell, chain)
+    return choices
+
+
+def _local_search(
+    choices: dict[Position, ParityChain],
+    candidates: dict[Position, ParityChain],
+    free: frozenset[Position],
+    max_passes: int = 20,
+) -> int:
+    """Single-element improvement moves to a local optimum (in place)."""
+    cells = sorted(choices)
+    cost = _cost(choices, free)
+    for _ in range(max_passes):
+        improved = False
+        for cell in cells:
+            for option in candidates[cell]:
+                if option is choices[cell]:
+                    continue
+                previous = choices[cell]
+                choices[cell] = option
+                trial_cost = _cost(choices, free)
+                if trial_cost < cost:
+                    cost = trial_cost
+                    improved = True
+                else:
+                    choices[cell] = previous
+        if not improved:
+            break
+    return cost
+
+
+def _solve_milp(
+    candidates: dict[Position, list[ParityChain]],
+    free: frozenset[Position],
+) -> dict[Position, ParityChain]:
+    """Exact solution via a 0/1 integer program.
+
+    Variables: one ``x`` per (lost cell, candidate chain), one ``y``
+    per potentially-read chargeable cell.  Constraints: the ``x`` of a
+    cell sum to 1; ``y_r >= x_{e,c}`` whenever choosing chain ``c``
+    for ``e`` reads ``r``.  Objective: minimize the sum of ``y``.
+    """
+    from scipy import sparse
+    from scipy.optimize import Bounds, LinearConstraint, milp
+
+    cells = sorted(candidates)
+    x_index: dict[tuple[Position, int], int] = {}
+    for cell in cells:
+        for k in range(len(candidates[cell])):
+            x_index[(cell, k)] = len(x_index)
+    chargeable = sorted(
+        {
+            r
+            for cell in cells
+            for chain in candidates[cell]
+            for r in _reads_of(cell, chain)
+            if r not in free
+        }
+    )
+    y_index = {r: len(x_index) + i for i, r in enumerate(chargeable)}
+    n = len(x_index) + len(y_index)
+
+    objective = np.zeros(n)
+    for idx in y_index.values():
+        objective[idx] = 1.0
+
+    rows: list[int] = []
+    cols: list[int] = []
+    vals: list[float] = []
+    lower: list[float] = []
+    upper: list[float] = []
+    row = 0
+    for cell in cells:  # sum_k x_{cell,k} == 1
+        for k in range(len(candidates[cell])):
+            rows.append(row)
+            cols.append(x_index[(cell, k)])
+            vals.append(1.0)
+        lower.append(1.0)
+        upper.append(1.0)
+        row += 1
+    for cell in cells:  # y_r - x_{cell,k} >= 0 for each read r
+        for k, chain in enumerate(candidates[cell]):
+            for r in _reads_of(cell, chain):
+                if r in free:
+                    continue
+                rows.extend((row, row))
+                cols.extend((y_index[r], x_index[(cell, k)]))
+                vals.extend((1.0, -1.0))
+                lower.append(0.0)
+                upper.append(np.inf)
+                row += 1
+
+    matrix = sparse.csr_matrix((vals, (rows, cols)), shape=(row, n))
+    result = milp(
+        c=objective,
+        constraints=LinearConstraint(matrix, lower, upper),
+        integrality=np.ones(n),
+        bounds=Bounds(0, 1),
+    )
+    if not result.success:  # pragma: no cover - scipy should always solve this
+        raise DecodeError(f"MILP recovery planner failed: {result.message}")
+    solution = np.round(result.x).astype(int)
+    choices: dict[Position, ParityChain] = {}
+    for cell in cells:
+        for k, chain in enumerate(candidates[cell]):
+            if solution[x_index[(cell, k)]] == 1:
+                choices[cell] = chain
+                break
+        else:  # pragma: no cover - defensive
+            raise DecodeError(f"MILP solution assigns no chain to {cell}")
+    return choices

@@ -1,0 +1,9 @@
+"""Version information for the HV Code reproduction package."""
+
+__version__ = "1.0.0"
+
+#: The paper this package reproduces.
+PAPER = (
+    "HV Code: An All-around MDS Code to Improve Efficiency and "
+    "Reliability of RAID-6 Systems (DSN 2014, Shen & Shu)"
+)

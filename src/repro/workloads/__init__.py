@@ -1,0 +1,40 @@
+"""Workload generators reproducing the paper's traces.
+
+- :mod:`repro.workloads.traces` — partial-stripe-write traces: the
+  ``uniform_w_L`` family and random ``(S, L, F)`` traces, including the
+  paper's exact Table II trace.
+- :mod:`repro.workloads.degraded` — degraded-read patterns for Fig. 7.
+"""
+
+from .traces import (
+    WritePattern,
+    WriteTrace,
+    PAPER_TABLE_II,
+    paper_random_trace,
+    uniform_write_trace,
+    random_write_trace,
+)
+from .degraded import ReadPattern, uniform_read_patterns
+from .synthetic import (
+    MixedOp,
+    mixed_trace,
+    read_patterns_of,
+    sequential_write_trace,
+    zipf_write_trace,
+)
+
+__all__ = [
+    "WritePattern",
+    "WriteTrace",
+    "PAPER_TABLE_II",
+    "paper_random_trace",
+    "uniform_write_trace",
+    "random_write_trace",
+    "ReadPattern",
+    "uniform_read_patterns",
+    "MixedOp",
+    "mixed_trace",
+    "read_patterns_of",
+    "sequential_write_trace",
+    "zipf_write_trace",
+]

@@ -1,0 +1,49 @@
+"""Degraded-read patterns (paper Section V.B).
+
+The paper issues 100 read patterns of length ``L ∈ {1, 5, 10, 15}``
+starting at uniformly selected points, against an array with one
+corrupted disk, and reports the expectation over every choice of
+failed disk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import WorkloadError
+
+
+@dataclass(frozen=True)
+class ReadPattern:
+    """One read of ``length`` continuous data elements from ``start``."""
+
+    start: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise WorkloadError(f"pattern start must be >= 0, got {self.start}")
+        if self.length <= 0:
+            raise WorkloadError(f"pattern length must be positive, got {self.length}")
+
+    @property
+    def end(self) -> int:
+        return self.start + self.length
+
+
+def uniform_read_patterns(
+    length: int,
+    volume_elements: int,
+    num_patterns: int = 100,
+    seed: int | None = 0,
+) -> tuple[ReadPattern, ...]:
+    """The paper's degraded-read workload for one ``L``."""
+    if length > volume_elements:
+        raise WorkloadError(
+            f"pattern length {length} exceeds volume of {volume_elements}"
+        )
+    rng = np.random.default_rng(seed)
+    starts = rng.integers(0, volume_elements - length + 1, size=num_patterns)
+    return tuple(ReadPattern(int(s), length) for s in starts)

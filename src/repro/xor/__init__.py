@@ -1,0 +1,17 @@
+"""GF(2) (XOR) linear algebra.
+
+Every array code in this package is, at bottom, a system of XOR
+equations over the stripe's elements.  This subpackage gives that view
+a concrete form:
+
+- :mod:`repro.xor.bitmatrix` — boolean matrix kernels (rank, solve,
+  nullspace) on numpy arrays.
+- :mod:`repro.xor.equations` — a :class:`ParityCheckSystem` built from a
+  code's parity chains, used by the Gaussian reference decoder and by
+  the exhaustive MDS verification.
+"""
+
+from .bitmatrix import gf2_rank, gf2_solve, gf2_row_reduce
+from .equations import ParityCheckSystem
+
+__all__ = ["gf2_rank", "gf2_solve", "gf2_row_reduce", "ParityCheckSystem"]

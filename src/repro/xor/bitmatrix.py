@@ -1,0 +1,99 @@
+"""Boolean (GF(2)) matrix kernels on numpy arrays.
+
+Matrices are ``numpy`` arrays of dtype ``bool`` (or anything
+``astype(bool)``-able).  Row reduction is done with vectorized XOR of
+whole rows, which is fast enough to run the exhaustive MDS checks for
+every prime the paper evaluates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import DecodeError
+
+
+def gf2_row_reduce(matrix: np.ndarray, rhs: np.ndarray | None = None):
+    """Bring ``matrix`` to row-echelon form over GF(2).
+
+    Parameters
+    ----------
+    matrix:
+        2-D array interpreted over GF(2); not modified.
+    rhs:
+        Optional right-hand side with one row per matrix row (1-D or
+        2-D); row operations are mirrored onto it.
+
+    Returns
+    -------
+    (reduced, rhs_reduced, pivot_cols):
+        The reduced matrix, the transformed right-hand side (or None),
+        and the list of pivot column indices in order.
+    """
+    a = np.array(matrix, dtype=bool, copy=True)
+    if a.ndim != 2:
+        raise ValueError("matrix must be 2-D")
+    b = None
+    if rhs is not None:
+        b = np.array(rhs, copy=True)
+        if b.shape[0] != a.shape[0]:
+            raise ValueError("rhs must have one row per matrix row")
+    n_rows, n_cols = a.shape
+    pivot_cols: list[int] = []
+    row = 0
+    for col in range(n_cols):
+        if row >= n_rows:
+            break
+        pivots = np.nonzero(a[row:, col])[0]
+        if pivots.size == 0:
+            continue
+        p = row + int(pivots[0])
+        if p != row:
+            a[[row, p]] = a[[p, row]]
+            if b is not None:
+                b[[row, p]] = b[[p, row]]
+        # Eliminate this column from every other row that has it set.
+        others = np.nonzero(a[:, col])[0]
+        others = others[others != row]
+        if others.size:
+            a[others] ^= a[row]
+            if b is not None:
+                b[others] ^= b[row]
+        pivot_cols.append(col)
+        row += 1
+    return a, b, pivot_cols
+
+
+def gf2_rank(matrix: np.ndarray) -> int:
+    """Rank of a matrix over GF(2)."""
+    _, _, pivots = gf2_row_reduce(matrix)
+    return len(pivots)
+
+
+def gf2_solve(matrix: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    """Solve ``matrix @ x = rhs`` over GF(2) for a unique ``x``.
+
+    ``rhs`` may be 1-D (single system) or 2-D (one system per column
+    batch — this is how whole element buffers are decoded at once:
+    each byte/bit column is an independent right-hand side).
+
+    Raises :class:`DecodeError` when the system is inconsistent or
+    underdetermined, which for an erasure decoder means the failure
+    pattern exceeded the code's capability.
+    """
+    a, b, pivots = gf2_row_reduce(matrix, rhs)
+    n_cols = a.shape[1]
+    if len(pivots) < n_cols:
+        raise DecodeError(
+            f"XOR system is underdetermined: rank {len(pivots)} < unknowns {n_cols}"
+        )
+    # Inconsistency: a zero row of `a` with a non-zero rhs entry.
+    zero_rows = ~a.any(axis=1)
+    if b is not None and zero_rows.any():
+        tail = b[zero_rows]
+        if np.any(tail):
+            raise DecodeError("XOR system is inconsistent")
+    x = np.zeros((n_cols,) + b.shape[1:], dtype=b.dtype)
+    for r, col in enumerate(pivots):
+        x[col] = b[r]
+    return x

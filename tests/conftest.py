@@ -1,0 +1,71 @@
+"""Shared fixtures: code instances and parameter grids.
+
+Exhaustive structural tests (MDS over all disk pairs, planner
+optimality) run on small primes; hypothesis property tests randomize
+within those.  The ``all_codes`` / ``evaluated`` fixtures are
+parametrized so every test automatically covers every code.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    CauchyRSCode,
+    EvenOddCode,
+    HCode,
+    HDPCode,
+    HVCode,
+    LiberationCode,
+    PCode,
+    RDPCode,
+    XCode,
+)
+
+#: Every XOR array code class in the package (Cauchy RS takes the data
+#: disk count as its registry parameter; everything else a prime).
+ALL_CODE_CLASSES = (
+    HVCode,
+    RDPCode,
+    XCode,
+    HDPCode,
+    HCode,
+    EvenOddCode,
+    PCode,
+    LiberationCode,
+    CauchyRSCode,
+)
+
+#: The paper's five evaluated codes.
+EVALUATED_CLASSES = (RDPCode, HDPCode, XCode, HCode, HVCode)
+
+#: Primes small enough for exhaustive structural checks.
+SMALL_PRIMES = (5, 7, 11)
+
+
+@pytest.fixture(params=ALL_CODE_CLASSES, ids=lambda cls: cls.name)
+def code_class(request):
+    """Each XOR code class in turn."""
+    return request.param
+
+
+@pytest.fixture
+def code(code_class):
+    """Each XOR code instantiated at p=7."""
+    return code_class(7)
+
+
+@pytest.fixture(params=EVALUATED_CLASSES, ids=lambda cls: cls.name)
+def evaluated_code(request):
+    """Each of the paper's five evaluated codes at p=7."""
+    return request.param(7)
+
+
+@pytest.fixture
+def hv7():
+    return HVCode(7)
+
+
+@pytest.fixture
+def hv13():
+    return HVCode(13)

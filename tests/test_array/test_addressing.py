@@ -1,0 +1,93 @@
+"""Tests for logical volume addressing."""
+
+import pytest
+
+from repro import HVCode, RDPCode
+from repro.array.addressing import VolumeAddressing
+from repro.exceptions import InvalidParameterError
+
+
+class TestLocate:
+    def test_first_element_is_first_data_cell(self):
+        code = HVCode(7)
+        addr = VolumeAddressing(code, num_stripes=2)
+        loc = addr.locate(0)
+        assert loc.stripe == 0
+        assert loc.position == code.data_positions[0]
+        assert loc.disk == code.data_positions[0][1]
+
+    def test_wraps_into_next_stripe(self):
+        code = HVCode(7)
+        per = code.data_elements_per_stripe
+        addr = VolumeAddressing(code, num_stripes=2)
+        loc = addr.locate(per)
+        assert loc.stripe == 1
+        assert loc.position == code.data_positions[0]
+
+    def test_total_elements(self):
+        code = HVCode(7)
+        addr = VolumeAddressing(code, num_stripes=3)
+        assert addr.total_data_elements == 3 * code.data_elements_per_stripe
+
+    def test_out_of_range(self):
+        addr = VolumeAddressing(HVCode(7), num_stripes=1)
+        with pytest.raises(InvalidParameterError):
+            addr.locate(addr.total_data_elements)
+        with pytest.raises(InvalidParameterError):
+            addr.locate(-1)
+
+    def test_rejects_zero_stripes(self):
+        with pytest.raises(InvalidParameterError):
+            VolumeAddressing(HVCode(7), num_stripes=0)
+
+
+class TestRange:
+    def test_range_is_contiguous(self):
+        code = HVCode(7)
+        addr = VolumeAddressing(code, num_stripes=2)
+        locs = addr.locate_range(20, 10)
+        assert len(locs) == 10
+        # Row-major positions within a stripe strictly increase.
+        for a, b in zip(locs, locs[1:]):
+            if a.stripe == b.stripe:
+                assert a.position < b.position
+
+    def test_range_overrun(self):
+        addr = VolumeAddressing(HVCode(7), num_stripes=1)
+        with pytest.raises(InvalidParameterError):
+            addr.locate_range(addr.total_data_elements - 2, 3)
+
+    def test_range_rejects_zero_length(self):
+        addr = VolumeAddressing(HVCode(7), num_stripes=1)
+        with pytest.raises(InvalidParameterError):
+            addr.locate_range(0, 0)
+
+    def test_by_stripe_groups(self):
+        code = HVCode(5)
+        per = code.data_elements_per_stripe
+        addr = VolumeAddressing(code, num_stripes=2)
+        locs = addr.locate_range(per - 2, 4)
+        grouped = addr.by_stripe(locs)
+        assert sorted(grouped) == [0, 1]
+        assert len(grouped[0]) == 2
+        assert len(grouped[1]) == 2
+
+
+class TestRotation:
+    def test_identity_without_rotation(self):
+        addr = VolumeAddressing(RDPCode(5), num_stripes=3)
+        assert addr.disk_of(2, 4) == 4
+
+    def test_rotation_shifts_per_stripe(self):
+        code = RDPCode(5)
+        addr = VolumeAddressing(code, num_stripes=3, rotate_stripes=True)
+        assert addr.disk_of(0, 0) == 0
+        assert addr.disk_of(1, 0) == 1
+        assert addr.disk_of(2, code.cols - 1) == 1  # wraps
+
+    def test_rotation_is_bijective_per_stripe(self):
+        code = RDPCode(5)
+        addr = VolumeAddressing(code, num_stripes=4, rotate_stripes=True)
+        for stripe in range(4):
+            disks = {addr.disk_of(stripe, c) for c in range(code.cols)}
+            assert disks == set(range(code.cols))

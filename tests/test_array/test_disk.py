@@ -1,0 +1,53 @@
+"""Tests for the simulated disk."""
+
+import pytest
+
+from repro.array.disk import SimulatedDisk
+from repro.array.latency import LatencyModel
+from repro.exceptions import SimulationError
+
+
+class TestService:
+    def test_counters(self):
+        d = SimulatedDisk(0)
+        d.read(3)
+        d.write(2)
+        assert d.reads == 3
+        assert d.writes == 2
+        assert d.requests == 5
+
+    def test_busy_seconds(self):
+        model = LatencyModel(seek_ms=0, bandwidth_mb_per_s=16, element_size_mb=16)
+        d = SimulatedDisk(0, latency=model)
+        d.read(2)
+        assert d.busy_seconds == pytest.approx(2.0)
+
+    def test_reset(self):
+        d = SimulatedDisk(0)
+        d.read()
+        d.reset_counters()
+        assert d.requests == 0
+
+    def test_negative_counts_rejected(self):
+        d = SimulatedDisk(0)
+        with pytest.raises(SimulationError):
+            d.read(-1)
+        with pytest.raises(SimulationError):
+            d.write(-2)
+
+
+class TestFailure:
+    def test_failed_disk_refuses_io(self):
+        d = SimulatedDisk(1)
+        d.fail()
+        with pytest.raises(SimulationError):
+            d.read()
+        with pytest.raises(SimulationError):
+            d.write()
+
+    def test_heal_restores_service(self):
+        d = SimulatedDisk(1)
+        d.fail()
+        d.heal()
+        d.read()
+        assert d.reads == 1

@@ -1,0 +1,158 @@
+"""End-to-end tests for the byte-addressed FileStore."""
+
+import numpy as np
+import pytest
+
+from repro import HVCode, RDPCode, XCode
+from repro.array.filestore import FileStore
+from repro.exceptions import InvalidParameterError, UnrecoverableFailureError
+
+
+@pytest.fixture
+def store():
+    return FileStore(HVCode(7), element_size=16)
+
+
+def payload(n: int, seed: int = 0) -> bytes:
+    return bytes(np.random.default_rng(seed).integers(0, 256, n, dtype=np.uint8))
+
+
+class TestBasicIO:
+    def test_roundtrip(self, store):
+        data = payload(100)
+        store.write(0, data)
+        assert store.read(0, 100) == data
+
+    def test_unwritten_space_reads_zero(self, store):
+        store.write(50, b"x")
+        assert store.read(0, 50) == bytes(50)
+
+    def test_grows_on_write(self, store):
+        assert store.capacity == 0
+        store.write(0, b"a")
+        assert store.capacity == store.bytes_per_stripe
+
+    def test_cross_stripe_write(self, store):
+        size = store.bytes_per_stripe + 37
+        data = payload(size, seed=1)
+        store.write(0, data)
+        assert len(store.stripes) == 2
+        assert store.read(0, size) == data
+
+    def test_unaligned_overwrite(self, store):
+        store.write(0, payload(64, seed=2))
+        store.write(7, b"HELLO")
+        out = store.read(0, 64)
+        assert out[7:12] == b"HELLO"
+        assert out[:7] == payload(64, seed=2)[:7]
+
+    def test_every_stripe_stays_valid(self, store):
+        store.write(0, payload(200, seed=3))
+        store.write(33, payload(90, seed=4))
+        assert store.scrub() == []
+
+    def test_empty_write_noop(self, store):
+        store.write(0, b"")
+        assert store.capacity == 0
+
+    def test_read_bounds(self, store):
+        store.write(0, b"abc")
+        with pytest.raises(InvalidParameterError):
+            store.read(0, store.capacity + 1)
+        with pytest.raises(InvalidParameterError):
+            store.read(-1, 1)
+
+    def test_negative_write_offset(self, store):
+        with pytest.raises(InvalidParameterError):
+            store.write(-1, b"a")
+
+
+class TestFailures:
+    def test_degraded_read_one_disk(self, store):
+        data = payload(200, seed=5)
+        store.write(0, data)
+        store.fail_disk(2)
+        assert store.read(0, 200) == data
+
+    def test_degraded_read_two_disks(self, store):
+        data = payload(300, seed=6)
+        store.write(0, data)
+        store.fail_disk(0)
+        store.fail_disk(4)
+        assert store.read(0, 300) == data
+
+    def test_third_failure_rejected(self, store):
+        store.write(0, b"x")
+        store.fail_disk(0)
+        store.fail_disk(1)
+        with pytest.raises(UnrecoverableFailureError):
+            store.fail_disk(2)
+
+    def test_degraded_write_then_read(self, store):
+        store.write(0, payload(120, seed=7))
+        store.fail_disk(1)
+        store.write(10, b"DEGRADED-WRITE")
+        assert store.read(10, 14) == b"DEGRADED-WRITE"
+
+    def test_degraded_write_survives_rebuild(self, store):
+        store.write(0, payload(120, seed=8))
+        store.fail_disk(1)
+        store.write(10, b"NEW")
+        store.rebuild(1)
+        assert store.read(10, 3) == b"NEW"
+        assert store.scrub() == []
+
+    def test_write_after_failure_to_new_stripe(self, store):
+        store.fail_disk(3)
+        data = payload(40, seed=9)
+        store.write(0, data)
+        assert store.read(0, 40) == data
+        store.rebuild(3)
+        assert store.scrub() == []
+
+    def test_rebuild_requires_failed_disk(self, store):
+        with pytest.raises(InvalidParameterError):
+            store.rebuild(0)
+
+    def test_scrub_requires_health(self, store):
+        store.write(0, b"x")
+        store.fail_disk(0)
+        with pytest.raises(InvalidParameterError):
+            store.scrub()
+
+    def test_double_failure_rebuild_both(self, store):
+        data = payload(250, seed=10)
+        store.write(0, data)
+        store.fail_disk(2)
+        store.fail_disk(5)
+        store.rebuild(2)
+        store.rebuild(5)
+        assert store.read(0, 250) == data
+        assert store.scrub() == []
+
+    def test_fail_disk_idempotent(self, store):
+        store.write(0, b"x")
+        store.fail_disk(1)
+        store.fail_disk(1)
+        assert store.failed_disks == {1}
+
+    def test_fail_disk_out_of_range(self, store):
+        with pytest.raises(InvalidParameterError):
+            store.fail_disk(99)
+
+
+class TestAcrossCodes:
+    @pytest.mark.parametrize("cls", [HVCode, RDPCode, XCode], ids=lambda c: c.name)
+    def test_full_lifecycle(self, cls):
+        store = FileStore(cls(5), element_size=8)
+        data = payload(3 * store.bytes_per_stripe // 2, seed=11)
+        store.write(0, data)
+        store.fail_disk(0)
+        store.write(5, b"patch")
+        store.fail_disk(cls(5).cols - 1)
+        expect = bytearray(data)
+        expect[5:10] = b"patch"
+        assert store.read(0, len(data)) == bytes(expect)
+        store.rebuild(0)
+        store.rebuild(cls(5).cols - 1)
+        assert store.scrub() == []

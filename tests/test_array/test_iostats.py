@@ -1,0 +1,69 @@
+"""Tests for per-disk I/O accounting."""
+
+import pytest
+
+from repro.array.iostats import IOStats
+from repro.exceptions import InvalidParameterError
+
+
+class TestRecording:
+    def test_initial_state(self):
+        s = IOStats(4)
+        assert s.total_requests == 0
+        assert s.per_disk_requests() == [0, 0, 0, 0]
+
+    def test_record_and_totals(self):
+        s = IOStats(3)
+        s.record_read(0, 2)
+        s.record_write(1, 3)
+        s.record_write(0)
+        assert s.total_reads == 2
+        assert s.total_writes == 4
+        assert s.requests_on(0) == 3
+        assert s.per_disk_requests() == [3, 3, 0]
+
+    def test_rejects_bad_disk(self):
+        s = IOStats(2)
+        with pytest.raises(InvalidParameterError):
+            s.record_read(2)
+        with pytest.raises(InvalidParameterError):
+            s.record_write(-1)
+
+    def test_rejects_negative_count(self):
+        s = IOStats(2)
+        with pytest.raises(InvalidParameterError):
+            s.record_read(0, -1)
+
+    def test_rejects_zero_disks(self):
+        with pytest.raises(InvalidParameterError):
+            IOStats(0)
+
+
+class TestCombination:
+    def test_merge(self):
+        a = IOStats(2)
+        b = IOStats(2)
+        a.record_read(0)
+        b.record_read(0)
+        b.record_write(1, 5)
+        a.merge(b)
+        assert a.reads == [2, 0]
+        assert a.writes == [0, 5]
+
+    def test_merge_width_mismatch(self):
+        with pytest.raises(InvalidParameterError):
+            IOStats(2).merge(IOStats(3))
+
+    def test_copy_independent(self):
+        a = IOStats(1)
+        a.record_write(0)
+        b = a.copy()
+        b.record_write(0)
+        assert a.total_writes == 1
+        assert b.total_writes == 2
+
+    def test_reset(self):
+        a = IOStats(2)
+        a.record_read(1, 7)
+        a.reset()
+        assert a.total_requests == 0

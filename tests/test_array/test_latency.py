@@ -1,0 +1,58 @@
+"""Tests for the disk latency model."""
+
+import pytest
+
+from repro.array.latency import LatencyModel
+from repro.exceptions import InvalidParameterError
+
+
+class TestValidation:
+    def test_defaults_reasonable(self):
+        m = LatencyModel()
+        assert m.request_seconds > 0
+        assert m.element_transfer_seconds > 0
+
+    def test_rejects_negative_seek(self):
+        with pytest.raises(InvalidParameterError):
+            LatencyModel(seek_ms=-1)
+
+    def test_rejects_zero_bandwidth(self):
+        with pytest.raises(InvalidParameterError):
+            LatencyModel(bandwidth_mb_per_s=0)
+
+    def test_rejects_zero_element(self):
+        with pytest.raises(InvalidParameterError):
+            LatencyModel(element_size_mb=0)
+
+
+class TestArithmetic:
+    def test_transfer_time(self):
+        m = LatencyModel(seek_ms=0, bandwidth_mb_per_s=100, element_size_mb=10)
+        assert m.element_transfer_seconds == pytest.approx(0.1)
+        assert m.request_seconds == pytest.approx(0.1)
+
+    def test_seek_added(self):
+        m = LatencyModel(seek_ms=10, bandwidth_mb_per_s=100, element_size_mb=10)
+        assert m.request_seconds == pytest.approx(0.11)
+
+    def test_serve_scales_linearly(self):
+        m = LatencyModel()
+        assert m.serve(0) == 0
+        assert m.serve(5) == pytest.approx(5 * m.request_seconds)
+
+    def test_serve_rejects_negative(self):
+        with pytest.raises(InvalidParameterError):
+            LatencyModel().serve(-1)
+
+    def test_recovery_element_constant_by_default(self):
+        m = LatencyModel()
+        assert m.recovery_element_seconds() == pytest.approx(m.request_seconds)
+
+    def test_recovery_element_chain_sensitivity(self):
+        m = LatencyModel()
+        assert m.recovery_element_seconds(10) > m.recovery_element_seconds(0)
+
+    def test_frozen(self):
+        m = LatencyModel()
+        with pytest.raises(AttributeError):
+            m.seek_ms = 1  # type: ignore[misc]

@@ -1,0 +1,39 @@
+"""Degraded operations on a rotated volume (column/disk remapping)."""
+
+import pytest
+
+from repro import HVCode, RDPCode
+from repro.array.raid import RAID6Volume
+
+
+class TestRotatedDegradedReads:
+    def test_degraded_read_avoids_failed_disk(self):
+        code = RDPCode(5)
+        volume = RAID6Volume(code, num_stripes=6, rotate_stripes=True)
+        volume.fail_disk(2)
+        per_stripe = code.data_elements_per_stripe
+        result = volume.degraded_read(0, 3 * per_stripe)
+        assert result.io.reads[2] == 0
+        assert result.elements_returned >= 3 * per_stripe
+
+    def test_rotation_spreads_parity_load(self):
+        code = RDPCode(5)
+        static = RAID6Volume(code, num_stripes=6, rotate_stripes=False)
+        rotated = RAID6Volume(code, num_stripes=6, rotate_stripes=True)
+        per_stripe = code.data_elements_per_stripe
+        for start in range(0, 6 * per_stripe - 4, 7):
+            static.write(start, 4)
+            rotated.write(start, 4)
+        static_max = max(static.stats.writes)
+        rotated_max = max(rotated.stats.writes)
+        assert rotated_max < static_max
+
+    def test_degraded_write_on_rotated_volume(self):
+        code = HVCode(7)
+        volume = RAID6Volume(code, num_stripes=8, rotate_stripes=True)
+        volume.fail_disk(1)
+        per_stripe = code.data_elements_per_stripe
+        result = volume.write(0, 2 * per_stripe)
+        assert result.io.writes[1] == 0
+        assert result.io.reads[1] == 0
+        assert result.induced_writes > 0

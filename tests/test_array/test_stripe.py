@@ -1,0 +1,111 @@
+"""Tests for the stripe container."""
+
+import numpy as np
+import pytest
+
+from repro.array.stripe import Stripe
+from repro.exceptions import InvalidParameterError, SimulationError
+
+
+class TestConstruction:
+    def test_dimensions(self):
+        s = Stripe(3, 4, 16)
+        assert s.data.shape == (3, 4, 16)
+        assert not s.erased.any()
+
+    @pytest.mark.parametrize("rows,cols,size", [(0, 1, 1), (1, 0, 1), (1, 1, 0)])
+    def test_rejects_bad_dimensions(self, rows, cols, size):
+        with pytest.raises(InvalidParameterError):
+            Stripe(rows, cols, size)
+
+
+class TestAccess:
+    def test_set_get_roundtrip(self):
+        s = Stripe(2, 2, 4)
+        buf = np.array([1, 2, 3, 4], dtype=np.uint8)
+        s.set((1, 0), buf)
+        assert np.array_equal(s.get((1, 0)), buf)
+
+    def test_get_out_of_range(self):
+        s = Stripe(2, 2, 4)
+        with pytest.raises(InvalidParameterError):
+            s.get((2, 0))
+        with pytest.raises(InvalidParameterError):
+            s.get((0, -1))
+
+    def test_set_wrong_size(self):
+        s = Stripe(2, 2, 4)
+        with pytest.raises(InvalidParameterError):
+            s.set((0, 0), np.zeros(5, dtype=np.uint8))
+
+    def test_get_erased_fails(self):
+        s = Stripe(2, 2, 4)
+        s.erase((0, 1))
+        with pytest.raises(SimulationError):
+            s.get((0, 1))
+
+    def test_set_clears_erasure(self):
+        s = Stripe(2, 2, 4)
+        s.erase((0, 1))
+        s.set((0, 1), np.ones(4, dtype=np.uint8))
+        assert s.alive((0, 1))
+
+
+class TestErasure:
+    def test_erase_zeroes_content(self):
+        s = Stripe(1, 1, 4)
+        s.set((0, 0), np.full(4, 7, dtype=np.uint8))
+        s.erase((0, 0))
+        assert not s.data[0, 0].any()
+
+    def test_erase_disks(self):
+        s = Stripe(3, 4, 2)
+        s.erase_disks([1, 3])
+        assert s.erased[:, 1].all()
+        assert s.erased[:, 3].all()
+        assert not s.erased[:, 0].any()
+
+    def test_erase_disks_out_of_range(self):
+        s = Stripe(2, 2, 2)
+        with pytest.raises(InvalidParameterError):
+            s.erase_disks([2])
+
+    def test_erased_positions_row_major(self):
+        s = Stripe(2, 3, 1)
+        s.erase((1, 0))
+        s.erase((0, 2))
+        assert s.erased_positions() == [(0, 2), (1, 0)]
+
+
+class TestHelpers:
+    def test_xor_of(self):
+        s = Stripe(1, 3, 2)
+        s.set((0, 0), np.array([1, 2], dtype=np.uint8))
+        s.set((0, 1), np.array([4, 8], dtype=np.uint8))
+        out = s.xor_of([(0, 0), (0, 1)])
+        assert list(out) == [5, 10]
+
+    def test_xor_of_empty_is_zero(self):
+        s = Stripe(1, 1, 3)
+        assert not s.xor_of([]).any()
+
+    def test_copy_is_deep(self):
+        s = Stripe(1, 1, 2)
+        s.set((0, 0), np.array([9, 9], dtype=np.uint8))
+        dup = s.copy()
+        dup.set((0, 0), np.zeros(2, dtype=np.uint8))
+        assert s.get((0, 0))[0] == 9
+
+    def test_fill_random_deterministic(self):
+        a = Stripe(2, 2, 8)
+        b = Stripe(2, 2, 8)
+        a.fill_random([(0, 0), (1, 1)], seed=5)
+        b.fill_random([(0, 0), (1, 1)], seed=5)
+        assert a == b
+
+    def test_equality_covers_erasure(self):
+        a = Stripe(1, 1, 1)
+        b = Stripe(1, 1, 1)
+        assert a == b
+        b.erase((0, 0))
+        assert a != b

@@ -1,0 +1,48 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_experiments_registered(self):
+        parser = build_parser()
+        for name in ("fig6", "fig7", "fig9a", "fig9b", "table3", "all", "layout"):
+            args = parser.parse_args([name] if name != "layout" else ["layout"])
+            assert args.command == name
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig42"])
+
+
+class TestMain:
+    def test_table3_quick(self, capsys):
+        assert main(["table3", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Table III" in out
+        assert "HV" in out
+
+    def test_fig9b_quick(self, capsys):
+        assert main(["fig9b", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 9(b)" in out
+
+    def test_layout_hv(self, capsys):
+        assert main(["layout", "--code", "HV", "--p", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "HV (p=7)" in out
+        assert "H" in out and "V" in out
+
+    def test_layout_other_code(self, capsys):
+        assert main(["layout", "--code", "rdp", "--p", "5"]) == 0
+        assert "RDP" in capsys.readouterr().out
+
+    def test_p_override(self, capsys):
+        assert main(["table3", "--p", "5"]) == 0
+        assert "p=5" in capsys.readouterr().out

@@ -1,0 +1,81 @@
+"""Tests for silent-corruption location and repair (scrub path)."""
+
+import numpy as np
+import pytest
+
+from repro import HVCode
+from repro.exceptions import DecodeError
+
+
+def corrupt(stripe, pos, mask=0x5A):
+    buf = stripe.get(pos).copy()
+    buf[0] ^= mask
+    stripe.set(pos, buf)
+
+
+class TestFailingEquations:
+    def test_clean_stripe_has_none(self, code):
+        stripe = code.random_stripe(element_size=4, seed=61)
+        assert code.failing_equations(stripe) == []
+
+    def test_corrupt_data_fails_its_chains(self, code):
+        stripe = code.random_stripe(element_size=4, seed=61)
+        pos = code.data_positions[0]
+        corrupt(stripe, pos)
+        failing = {c.parity for c in code.failing_equations(stripe)}
+        assert failing == {c.parity for c in code.chains_through[pos]}
+
+
+class TestLocate:
+    def test_locates_every_data_cell(self, code):
+        stripe = code.random_stripe(element_size=4, seed=62)
+        for pos in code.data_positions[:: max(1, len(code.data_positions) // 8)]:
+            broken = stripe.copy()
+            corrupt(broken, pos)
+            assert code.locate_corruption(broken) == pos
+
+    def test_locates_parity_cells(self, code):
+        stripe = code.random_stripe(element_size=4, seed=63)
+        for pos in code.parity_positions[:4]:
+            broken = stripe.copy()
+            corrupt(broken, pos)
+            assert code.locate_corruption(broken) == pos
+
+    def test_clean_stripe_returns_none(self, code):
+        stripe = code.random_stripe(element_size=4, seed=64)
+        assert code.locate_corruption(stripe) is None
+
+    def test_double_corruption_detected_as_ambiguous(self):
+        code = HVCode(7)
+        stripe = code.random_stripe(element_size=4, seed=65)
+        corrupt(stripe, code.data_positions[0])
+        corrupt(stripe, code.data_positions[7])
+        with pytest.raises(DecodeError):
+            code.locate_corruption(stripe)
+
+
+class TestRepair:
+    def test_repair_restores_bytes(self, code):
+        stripe = code.random_stripe(element_size=4, seed=66)
+        reference = stripe.copy()
+        pos = code.data_positions[3]
+        corrupt(stripe, pos)
+        repaired = code.repair_corruption(stripe)
+        assert repaired == pos
+        assert stripe == reference
+
+    def test_repair_noop_when_clean(self, code):
+        stripe = code.random_stripe(element_size=4, seed=67)
+        assert code.repair_corruption(stripe) is None
+        assert code.verify(stripe)
+
+    def test_repair_multibyte_corruption(self):
+        code = HVCode(7)
+        stripe = code.random_stripe(element_size=16, seed=68)
+        reference = stripe.copy()
+        pos = code.data_positions[5]
+        buf = stripe.get(pos).copy()
+        buf[:] = np.frombuffer(b"\xde\xad\xbe\xef" * 4, dtype=np.uint8)
+        stripe.set(pos, buf)
+        code.repair_corruption(stripe)
+        assert stripe == reference

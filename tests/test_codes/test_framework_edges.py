@@ -1,0 +1,91 @@
+"""Edge-path tests for the parity-chain framework."""
+
+import pytest
+
+from repro.codes.base import ArrayCode, ElementKind, ParityChain
+from repro.exceptions import LayoutError
+
+
+class CyclicCode(ArrayCode):
+    """Deliberately broken: two chains each containing the other's parity."""
+
+    name = "cyclic"
+    min_p = 3
+
+    @property
+    def rows(self) -> int:
+        return 2
+
+    @property
+    def cols(self) -> int:
+        return 2
+
+    def _build_chains(self):
+        return [
+            ParityChain(ElementKind.HORIZONTAL, (0, 0), ((0, 1),)),
+            ParityChain(ElementKind.VERTICAL, (0, 1), ((0, 0),)),
+        ]
+
+
+class OverlappingParityCode(ArrayCode):
+    """Deliberately broken: two chains claim the same parity cell."""
+
+    name = "overlap"
+    min_p = 3
+
+    @property
+    def rows(self) -> int:
+        return 2
+
+    @property
+    def cols(self) -> int:
+        return 2
+
+    def _build_chains(self):
+        return [
+            ParityChain(ElementKind.HORIZONTAL, (0, 0), ((1, 0),)),
+            ParityChain(ElementKind.VERTICAL, (0, 0), ((1, 1),)),
+        ]
+
+
+class OutOfGridCode(ArrayCode):
+    """Deliberately broken: a chain references a cell outside the grid."""
+
+    name = "out-of-grid"
+    min_p = 3
+
+    @property
+    def rows(self) -> int:
+        return 2
+
+    @property
+    def cols(self) -> int:
+        return 2
+
+    def _build_chains(self):
+        return [ParityChain(ElementKind.HORIZONTAL, (0, 0), ((5, 5),))]
+
+
+class TestLayoutValidation:
+    def test_cyclic_dependencies_rejected(self):
+        with pytest.raises(LayoutError, match="cyclic"):
+            CyclicCode(3).encode_order
+
+    def test_overlapping_parity_rejected(self):
+        with pytest.raises(LayoutError, match="share parity"):
+            OverlappingParityCode(3).chains
+
+    def test_out_of_grid_rejected(self):
+        with pytest.raises(LayoutError, match="outside"):
+            OutOfGridCode(3).chains
+
+
+class TestKindLabels:
+    def test_every_kind_has_short_label(self):
+        for kind in ElementKind:
+            assert kind.short_label
+
+    def test_parity_flag(self):
+        assert not ElementKind.DATA.is_parity
+        assert ElementKind.HORIZONTAL.is_parity
+        assert ElementKind.Q.is_parity

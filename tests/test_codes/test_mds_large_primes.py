@@ -1,0 +1,35 @@
+"""MDS rank-oracle checks at larger primes (p=17, 19).
+
+The byte-level decode tests stop at p=7 for speed; the rank oracle is
+cheap enough to push the mathematical MDS property to the upper end of
+the paper's evaluation range.
+"""
+
+import pytest
+
+from repro import HCode, HDPCode, HVCode, LiberationCode, RDPCode, XCode
+from repro.utils import pairs
+
+LARGE = (17, 19)
+
+
+@pytest.mark.parametrize("p", LARGE)
+@pytest.mark.parametrize(
+    "cls",
+    [HVCode, RDPCode, HDPCode, XCode, HCode, LiberationCode],
+    ids=lambda c: c.name,
+)
+def test_rank_oracle_all_pairs_large(cls, p):
+    code = cls(p)
+    system = code.parity_check_system
+    for f1, f2 in pairs(code.cols):
+        erased = [(r, d) for d in (f1, f2) for r in range(code.rows)]
+        assert system.can_recover(erased), (cls.name, p, f1, f2)
+
+
+@pytest.mark.parametrize("p", LARGE)
+def test_hv_chain_length_stays_shortest(p):
+    codes = [HVCode(p), RDPCode(p), HDPCode(p), XCode(p), HCode(p)]
+    lengths = {c.name: max(ch.length for ch in c.chains) for c in codes}
+    assert lengths["HV"] == p - 2
+    assert all(lengths["HV"] <= v for v in lengths.values())

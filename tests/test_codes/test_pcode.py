@@ -1,0 +1,58 @@
+"""P-Code construction tests against the paper's Fig. 3 example."""
+
+import pytest
+
+from repro import PCode
+from repro.codes.base import ElementKind
+
+
+@pytest.fixture(scope="module")
+def pcode():
+    return PCode(7)
+
+
+class TestLayout:
+    def test_shape(self, pcode):
+        assert pcode.rows == 3
+        assert pcode.cols == 6
+
+    def test_parity_row(self, pcode):
+        for c in range(6):
+            assert pcode.layout[(0, c)] is ElementKind.VERTICAL
+        for r in (1, 2):
+            for c in range(6):
+                assert pcode.layout[(r, c)] is ElementKind.DATA
+
+    def test_data_count(self, pcode):
+        assert pcode.data_elements_per_stripe == (7 - 1) * (7 - 3) // 2
+
+
+class TestPairRule:
+    def test_pairs_sum_to_disk_mod_p(self, pcode):
+        for (row, col), (i, j) in pcode.pair_of.items():
+            assert (i + j) % 7 == (col + 1) % 7
+            assert 1 <= i < j <= 6
+            assert row >= 1
+
+    def test_paper_example_disk1(self, pcode):
+        # Fig. 3: the data element labelled {2,6} on disk 1 joins the
+        # parities P2 and P6 since (2+6) mod 7 = 1.
+        disk1_pairs = {
+            pair for pos, pair in pcode.pair_of.items() if pos[1] == 0
+        }
+        assert (2, 6) in disk1_pairs
+
+    def test_each_data_cell_joins_its_two_parities(self, pcode):
+        for pos, (i, j) in pcode.pair_of.items():
+            parents = {chain.parity for chain in pcode.chains_through[pos]}
+            assert parents == {(0, i - 1), (0, j - 1)}
+
+    def test_pairs_unique(self, pcode):
+        labels = list(pcode.pair_of.values())
+        assert len(labels) == len(set(labels))
+
+    def test_chain_length_p_minus_2(self, pcode):
+        assert all(chain.length == 7 - 2 for chain in pcode.chains)
+
+    def test_optimal_update_complexity(self, pcode):
+        assert pcode.average_update_complexity() == 2.0

@@ -1,0 +1,89 @@
+"""Tests for the Reed-Solomon P+Q RAID-6 baseline."""
+
+import numpy as np
+import pytest
+
+from repro import ReedSolomonRAID6
+from repro.exceptions import InvalidParameterError, UnrecoverableFailureError
+from repro.utils import pairs
+
+
+@pytest.fixture(scope="module")
+def rs():
+    return ReedSolomonRAID6(k=6)
+
+
+class TestConstruction:
+    def test_shape(self, rs):
+        assert rs.rows == 1
+        assert rs.cols == 8
+        assert rs.p_disk == 6
+        assert rs.q_disk == 7
+
+    def test_k_bounds(self):
+        with pytest.raises(InvalidParameterError):
+            ReedSolomonRAID6(k=1)
+        with pytest.raises(InvalidParameterError):
+            ReedSolomonRAID6(k=256)
+
+    def test_wrong_stripe_rejected(self, rs):
+        from repro.array.stripe import Stripe
+
+        with pytest.raises(InvalidParameterError):
+            rs.encode(Stripe(1, 5, 4))
+
+
+class TestEncode:
+    def test_p_is_xor_of_data(self, rs):
+        stripe = rs.random_stripe(16, seed=1)
+        expect = stripe.xor_of([(0, d) for d in range(rs.k)])
+        assert np.array_equal(stripe.get((0, rs.p_disk)), expect)
+
+    def test_q_uses_generator_weights(self, rs):
+        stripe = rs.random_stripe(16, seed=2)
+        acc = np.zeros(16, dtype=np.uint8)
+        for d in range(rs.k):
+            rs.field.mul_add_bytes(acc, rs.field.generator_power(d), stripe.get((0, d)))
+        assert np.array_equal(stripe.get((0, rs.q_disk)), acc)
+
+    def test_verify(self, rs):
+        stripe = rs.random_stripe(16, seed=3)
+        assert rs.verify(stripe)
+        buf = stripe.get((0, 0)).copy()
+        buf[0] ^= 1
+        stripe.set((0, 0), buf)
+        assert not rs.verify(stripe)
+
+
+class TestDecode:
+    def test_all_single_failures(self, rs):
+        stripe = rs.random_stripe(32, seed=4)
+        for d in range(rs.cols):
+            broken = stripe.copy()
+            rs.decode(broken, failed_disks=[d])
+            assert broken == stripe, d
+
+    def test_all_double_failures(self, rs):
+        stripe = rs.random_stripe(32, seed=5)
+        for f1, f2 in pairs(rs.cols):
+            broken = stripe.copy()
+            rs.decode(broken, failed_disks=[f1, f2])
+            assert broken == stripe, (f1, f2)
+
+    def test_triple_failure_rejected(self, rs):
+        stripe = rs.random_stripe(8, seed=6)
+        stripe.erase_disks([0, 1, 2])
+        with pytest.raises(UnrecoverableFailureError):
+            rs.decode(stripe)
+
+    def test_decode_noop_when_healthy(self, rs):
+        stripe = rs.random_stripe(8, seed=7)
+        rs.decode(stripe)
+        assert rs.verify(stripe)
+
+    def test_large_k(self):
+        rs = ReedSolomonRAID6(k=32)
+        stripe = rs.random_stripe(8, seed=8)
+        broken = stripe.copy()
+        rs.decode(broken, failed_disks=[3, 17])
+        assert broken == stripe

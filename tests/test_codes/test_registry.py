@@ -1,0 +1,52 @@
+"""Tests for the code registry."""
+
+import pytest
+
+from repro import HVCode, available_codes, evaluated_codes, get_code
+from repro.codes.registry import EVALUATED_CODE_NAMES
+from repro.exceptions import InvalidParameterError
+
+
+class TestLookup:
+    def test_all_names_instantiate(self):
+        for name in available_codes():
+            code = get_code(name, 7)
+            if name == "Cauchy-RS":
+                # Its registry parameter is the data-disk count.
+                assert code.k == 7
+            else:
+                assert code.p == 7
+
+    def test_case_insensitive(self):
+        assert isinstance(get_code("hv", 7), HVCode)
+        assert isinstance(get_code("HV", 7), HVCode)
+
+    def test_dash_insensitive(self):
+        assert get_code("xcode", 7).name == "X-Code"
+        assert get_code("x-code", 7).name == "X-Code"
+        assert get_code("hcode", 7).name == "H-Code"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            get_code("weaver", 7)
+
+    def test_extension_codes_registered(self):
+        assert get_code("liberation", 7).name == "Liberation"
+        assert get_code("cauchy-rs", 7).name == "Cauchy-RS"
+
+
+class TestEvaluatedSet:
+    def test_five_codes_in_paper_order(self):
+        codes = evaluated_codes(7)
+        assert [c.name for c in codes] == list(EVALUATED_CODE_NAMES)
+        assert EVALUATED_CODE_NAMES == ("RDP", "HDP", "X-Code", "H-Code", "HV")
+
+    def test_disk_counts_match_paper(self):
+        # RDP over p+1, HDP over p-1, X-Code over p, H-Code over p+1,
+        # HV over p-1 (paper Section V intro).
+        by_name = {c.name: c for c in evaluated_codes(13)}
+        assert by_name["RDP"].num_disks == 14
+        assert by_name["HDP"].num_disks == 12
+        assert by_name["X-Code"].num_disks == 13
+        assert by_name["H-Code"].num_disks == 14
+        assert by_name["HV"].num_disks == 12

@@ -1,0 +1,85 @@
+"""X-Code construction tests (Xu & Bruck geometry)."""
+
+import pytest
+
+from repro import XCode
+from repro.codes.base import ElementKind
+
+
+@pytest.fixture(scope="module")
+def xcode():
+    return XCode(5)
+
+
+class TestLayout:
+    def test_shape(self, xcode):
+        assert xcode.rows == 5
+        assert xcode.cols == 5
+
+    def test_parity_rows(self, xcode):
+        for c in range(5):
+            assert xcode.layout[(3, c)] is ElementKind.DIAGONAL
+            assert xcode.layout[(4, c)] is ElementKind.ANTIDIAGONAL
+        for r in range(3):
+            for c in range(5):
+                assert xcode.layout[(r, c)] is ElementKind.DATA
+
+    def test_perfect_parity_balance(self, xcode):
+        from repro.metrics.balance import parity_distribution
+
+        assert parity_distribution(xcode) == [2] * 5
+
+    def test_data_count(self, xcode):
+        assert xcode.data_elements_per_stripe == 5 * (5 - 2)
+
+
+class TestChains:
+    def test_chain_length_p_minus_1(self, xcode):
+        assert all(chain.length == 4 for chain in xcode.chains)
+
+    def test_diagonal_geometry(self, xcode):
+        # Diagonal chains advance column by +1 per row.
+        for chain in xcode.chains:
+            if chain.kind is not ElementKind.DIAGONAL:
+                continue
+            members = sorted(chain.members)
+            for (r1, c1), (r2, c2) in zip(members, members[1:]):
+                assert r2 == r1 + 1
+                assert c2 == (c1 + 1) % 5
+
+    def test_antidiagonal_geometry(self, xcode):
+        for chain in xcode.chains:
+            if chain.kind is not ElementKind.ANTIDIAGONAL:
+                continue
+            members = sorted(chain.members)
+            for (r1, c1), (r2, c2) in zip(members, members[1:]):
+                assert r2 == r1 + 1
+                assert c2 == (c1 - 1) % 5
+
+    def test_members_are_data(self, xcode):
+        for chain in xcode.chains:
+            for member in chain.members:
+                assert xcode.layout[member] is ElementKind.DATA
+
+    def test_optimal_update_complexity(self, xcode):
+        assert xcode.average_update_complexity() == 2.0
+
+    def test_no_shared_parity_within_rows(self, xcode):
+        # The trait the paper blames for X-Code's partial-write cost:
+        # consecutive data elements in a row never share a parity
+        # chain (cross-row boundary pairs do land on one wrapped
+        # diagonal, but rows dominate a continuous write).
+        cells = xcode.data_positions
+        for a, b in zip(cells, cells[1:]):
+            if a[0] != b[0]:
+                continue
+            assert not set(xcode.update_targets(a)) & set(xcode.update_targets(b))
+
+    def test_two_element_write_cost_near_four(self, xcode):
+        from repro.experiments.table3_comparison import (
+            average_two_element_write_cost,
+        )
+
+        # No in-row sharing pushes the cost toward 4, well above the
+        # 3.0 optimum H-Code and HV approach.
+        assert average_two_element_write_cost(xcode) > 3.5

@@ -1,0 +1,47 @@
+"""The paper's Fig. 5 worked example: recovering disks #1 and #3 (p=7).
+
+"There are four recovery chains, such as {E5,1, E5,3} and
+{E3,3, E3,1, E4,3, E4,1}" and "E2,3, E1,1, E1,3, and E2,1 belong to
+the same recovery chain."  Algorithm 1 must reproduce those chains,
+element for element, in order.
+"""
+
+import pytest
+
+from repro import HVCode
+from repro.core.recovery import plan_double_failure_recovery
+
+
+def cell(i: int, j: int):
+    """Paper 1-based E_{i,j} -> internal 0-based position."""
+    return (i - 1, j - 1)
+
+
+@pytest.fixture(scope="module")
+def plan():
+    # Paper disks #1 and #3 are 0-based columns 0 and 2.
+    return plan_double_failure_recovery(HVCode(7), 0, 2)
+
+
+class TestFig5:
+    def test_four_chains(self, plan):
+        assert len(plan.chains) == 4
+
+    def test_chain_e23_e11_e13_e21(self, plan):
+        expect = [cell(2, 3), cell(1, 1), cell(1, 3), cell(2, 1)]
+        assert expect in plan.recovery_order
+
+    def test_chain_e33_e31_e43_e41(self, plan):
+        expect = [cell(3, 3), cell(3, 1), cell(4, 3), cell(4, 1)]
+        assert expect in plan.recovery_order
+
+    def test_chain_e51_e53(self, plan):
+        assert [cell(5, 1), cell(5, 3)] in plan.recovery_order
+
+    def test_remaining_chain_covers_row6(self, plan):
+        # The fourth chain must pick up E6,1 and E6,3.
+        flat = {pos for chain in plan.recovery_order for pos in chain}
+        assert cell(6, 1) in flat and cell(6, 3) in flat
+
+    def test_longest_chain_is_four(self, plan):
+        assert plan.longest_chain == 4

@@ -1,0 +1,62 @@
+"""Smoke tests: every example script runs cleanly end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "stripe encoded and verified" in out
+        assert "recovered all 12 elements" in out
+
+    def test_partial_write_analysis(self):
+        out = run_example("partial_write_analysis.py")
+        assert "same-row" in out
+        assert "Table II random trace" in out
+
+    def test_failure_recovery_demo(self):
+        out = run_example("failure_recovery_demo.py")
+        assert "total elements read: 18" in out
+        assert "all bytes restored" in out
+
+    def test_degraded_read_demo(self):
+        out = run_example("degraded_read_demo.py")
+        assert "HV" in out and "X-Code" in out
+
+    def test_file_storage_demo(self):
+        out = run_example("file_storage_demo.py")
+        assert "scrub found 0 inconsistent stripes" in out
+        assert "final content matches expectation: True" in out
+
+    def test_code_explorer(self):
+        out = run_example("code_explorer.py", "5")
+        for name in ("HV", "RDP", "X-Code", "Liberation", "Cauchy-RS"):
+            assert name in out
+
+    def test_workload_study(self):
+        out = run_example("workload_study.py")
+        assert "sequential_w_32" in out
+        assert "zipf_1.5" in out
+
+    def test_reproduce_paper_quick(self):
+        out = run_example("reproduce_paper.py", "--quick")
+        assert "Fig. 9(a)" in out
+        assert "Table III" in out
+        assert "done in" in out

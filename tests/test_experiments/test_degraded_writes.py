@@ -1,0 +1,42 @@
+"""Tests for the degraded-write extension experiment."""
+
+import pytest
+
+from repro.experiments.degraded_writes import run
+from repro.experiments.runner import run_experiment
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run(p=13, num_patterns=60, seed=0)
+
+
+class TestDegradedWrites:
+    def test_five_codes(self, result):
+        assert [row[0] for row in result.rows] == [
+            "RDP",
+            "HDP",
+            "X-Code",
+            "H-Code",
+            "HV",
+        ]
+
+    def test_hv_cheapest_of_balanced_codes(self, result):
+        by_name = {row[0]: row for row in result.rows}
+        # Among the balanced (p-1 / p disk) codes HV needs the least
+        # I/O per degraded write pattern.
+        assert by_name["HV"][1] < by_name["HDP"][1]
+        assert by_name["HV"][1] < by_name["X-Code"][1]
+
+    def test_rdp_slowest(self, result):
+        by_name = {row[0]: row for row in result.rows}
+        for name in ("HV", "HDP", "X-Code", "H-Code"):
+            assert by_name["RDP"][2] > by_name[name][2]
+
+    def test_positive_metrics(self, result):
+        for row in result.rows:
+            assert row[1] > 0 and row[2] > 0
+
+    def test_runner_integration(self):
+        results = run_experiment("degraded-writes", quick=True)
+        assert results[0].parameters["p"] == 7

@@ -1,0 +1,86 @@
+"""Tests for the extension experiments (reliability, rotation)."""
+
+import pytest
+
+from repro.experiments.reliability_analysis import run as run_reliability
+from repro.experiments.rotation_ablation import (
+    run as run_rotation,
+    skewed_trace,
+    uniform_trace,
+)
+from repro.experiments.runner import run_experiment
+
+
+class TestReliabilityExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_reliability(p=7)
+
+    def test_structure(self, result):
+        assert result.experiment == "reliability"
+        assert [row[0] for row in result.rows] == [
+            "RDP",
+            "HDP",
+            "X-Code",
+            "H-Code",
+            "HV",
+        ]
+
+    def test_hv_highest_mttdl(self, result):
+        mttdl = {row[0]: row[4] for row in result.rows}
+        assert mttdl["HV"] == max(mttdl.values())
+
+    def test_rebuild_hours_positive(self, result):
+        for row in result.rows:
+            assert row[2] > 0 and row[3] > row[2]
+
+    def test_runner_integration(self):
+        results = run_experiment("reliability", quick=True)
+        assert results[0].parameters["p"] == 7
+
+
+class TestRotationExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_rotation(p=13, num_patterns=1000, seed=0)
+
+    def test_four_configurations(self, result):
+        labels = [row[0] for row in result.rows]
+        assert labels == [
+            "RDP (static)",
+            "RDP (rotated)",
+            "HV (static)",
+            "HV (rotated)",
+        ]
+
+    def test_rotation_rescues_rdp_under_uniform(self, result):
+        rows = {row[0]: row for row in result.rows}
+        assert rows["RDP (static)"][1] > 8.0
+        assert rows["RDP (rotated)"][1] < 2.0
+
+    def test_rotation_fails_under_skew(self, result):
+        rows = {row[0]: row for row in result.rows}
+        # The paper's Section II.C claim: hot stripes defeat rotation.
+        assert rows["RDP (rotated)"][2] > 5.0
+
+    def test_hv_balanced_everywhere(self, result):
+        rows = {row[0]: row for row in result.rows}
+        for label in ("HV (static)", "HV (rotated)"):
+            assert rows[label][1] < 1.3
+            assert rows[label][2] < 1.3
+
+    def test_runner_integration(self):
+        results = run_experiment("rotation", quick=True)
+        assert results[0].experiment == "rotation"
+
+
+class TestTraceBuilders:
+    def test_skewed_trace_hits_hot_range(self):
+        trace = skewed_trace(1000, hot_lo=0, hot_hi=100, num_patterns=200, seed=1)
+        hot = sum(1 for p in trace.patterns if p.start < 100)
+        assert hot >= 0.8 * len(trace)
+
+    def test_uniform_trace_spreads(self):
+        trace = uniform_trace(1000, num_patterns=400, seed=2)
+        top_half = sum(1 for p in trace.patterns if p.start >= 500)
+        assert 0.3 <= top_half / len(trace) <= 0.7

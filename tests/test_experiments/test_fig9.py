@@ -1,0 +1,88 @@
+"""Fig. 9 experiment tests: recovery I/O and double-failure time."""
+
+import pytest
+
+from repro.experiments.fig9_recovery import run_fig9a, run_fig9b
+
+
+@pytest.fixture(scope="module")
+def fig9a():
+    # The greedy planner keeps this fixture fast; its ≤1% gap to the
+    # MILP optimum is asserted in test_single_planner and covered by
+    # the slack in the shape bounds below.  The CLI and benchmarks run
+    # the exact MILP.
+    return run_fig9a(primes=(5, 7, 11, 13), method="greedy")
+
+
+@pytest.fixture(scope="module")
+def fig9b():
+    return run_fig9b(primes=(5, 7, 11, 13))
+
+
+class TestFig9a:
+    def test_headers(self, fig9a):
+        assert fig9a.headers == ["code", "p=5", "p=7", "p=11", "p=13"]
+
+    def test_hv_lowest_everywhere(self, fig9a):
+        for col in range(1, 5):
+            hv = fig9a.row_for("HV")[col]
+            for name in ("RDP", "HDP", "X-Code", "H-Code"):
+                assert hv <= fig9a.row_for(name)[col] + 1e-9
+
+    def test_paper_savings_at_p7(self, fig9a):
+        # Paper: at p=7 the saving spans 5.4% (vs HDP) to 39.8%
+        # (vs H-Code).
+        hv = fig9a.row_for("HV")[2]
+        hdp = fig9a.row_for("HDP")[2]
+        hcode = fig9a.row_for("H-Code")[2]
+        assert 0.02 <= 1 - hv / hdp <= 0.12
+        assert 0.30 <= 1 - hv / hcode <= 0.45
+
+    def test_savings_shrink_with_p(self, fig9a):
+        # Paper: the HDP gap narrows from 5.4% (p=7) to 2.7% (p=23).
+        gap_small = 1 - fig9a.row_for("HV")[2] / fig9a.row_for("HDP")[2]
+        gap_large = 1 - fig9a.row_for("HV")[4] / fig9a.row_for("HDP")[4]
+        assert gap_large <= gap_small
+
+    def test_hv_equals_fig8_value_at_p7(self, fig9a):
+        assert fig9a.row_for("HV")[2] == pytest.approx(3.0)
+
+    def test_reads_grow_with_p(self, fig9a):
+        for row in fig9a.rows:
+            values = row[1:]
+            assert values == sorted(values)
+
+
+class TestFig9b:
+    def test_hv_and_xcode_fastest(self, fig9b):
+        for col in range(1, 5):
+            hv = fig9b.row_for("HV")[col]
+            x = fig9b.row_for("X-Code")[col]
+            best_other = min(
+                fig9b.row_for(name)[col] for name in ("RDP", "HDP", "H-Code")
+            )
+            assert hv < best_other
+            assert x < best_other
+
+    def test_paper_savings_range(self, fig9b):
+        # Paper: 47.4%-59.7% less recovery time than RDP / HDP / H-Code.
+        for col in (2, 4):  # p=7 and p=13
+            hv = fig9b.row_for("HV")[col]
+            for name in ("RDP", "HDP", "H-Code"):
+                saving = 1 - hv / fig9b.row_for(name)[col]
+                assert 0.30 <= saving <= 0.70, (name, col, saving)
+
+    def test_time_grows_with_p(self, fig9b):
+        for row in fig9b.rows:
+            assert row[4] > row[1]
+
+    def test_re_parameter_recorded(self, fig9b):
+        assert "re_seconds" in fig9b.parameters
+
+
+class TestPlannerModes:
+    def test_fig9a_greedy_mode_close_to_exact(self):
+        exact = run_fig9a(primes=(7,), method="milp")
+        greedy = run_fig9a(primes=(7,), method="greedy")
+        for row_e, row_g in zip(exact.rows, greedy.rows):
+            assert row_g[1] <= row_e[1] * 1.05

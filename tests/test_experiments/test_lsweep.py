@@ -1,0 +1,45 @@
+"""Tests for the write-length sweep extension experiment."""
+
+import pytest
+
+from repro.experiments.runner import run_experiment
+from repro.experiments.write_length_sweep import run
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return run(p=13, lengths=(1, 4, 16, 64), num_patterns=120, seed=0)
+
+
+class TestWriteLengthSweep:
+    def test_headers(self, sweep):
+        assert sweep.headers == ["code", "L=1", "L=4", "L=16", "L=64"]
+
+    def test_costs_decrease_with_length(self, sweep):
+        # Longer writes amortize parity: per-element cost is monotone
+        # non-increasing in L for every code.
+        for row in sweep.rows:
+            values = row[1:]
+            assert values == sorted(values, reverse=True), row[0]
+
+    def test_single_element_cost_equals_update_complexity(self, sweep):
+        # At L=1 the per-element cost is 1 + update complexity.
+        by_name = {row[0]: row for row in sweep.rows}
+        assert by_name["HV"][1] == pytest.approx(3.0)
+        assert by_name["X-Code"][1] == pytest.approx(3.0)
+        assert by_name["HDP"][1] == pytest.approx(4.0)
+        assert by_name["RDP"][1] > 3.0
+
+    def test_hv_beats_xcode_at_short_writes(self, sweep):
+        by_name = {row[0]: row for row in sweep.rows}
+        for col in (2, 3):  # L=4, L=16
+            assert by_name["HV"][col] < by_name["X-Code"][col]
+
+    def test_costs_above_one(self, sweep):
+        for row in sweep.rows:
+            assert all(v > 1.0 for v in row[1:])
+
+    def test_runner_integration(self):
+        results = run_experiment("lsweep", quick=True)
+        assert results[0].experiment == "lsweep"
+        assert results[0].parameters["p"] == 7

@@ -1,0 +1,35 @@
+"""Tests for the text table renderer."""
+
+from repro.experiments.render import format_table
+
+
+class TestFormatTable:
+    def test_title_and_rule(self):
+        text = format_table(["a", "b"], [[1, 2]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert set(lines[2]) <= {"-", " "}
+
+    def test_alignment(self):
+        text = format_table(["name", "val"], [["x", 1.5], ["long-name", 10.25]])
+        lines = text.splitlines()
+        # Numbers right-aligned: the short number's digits end where
+        # the longer one's do.
+        assert lines[-1].endswith("10.250")
+        assert lines[-2].endswith(" 1.500")
+
+    def test_float_digits(self):
+        text = format_table(["v"], [[1.23456]], float_digits=1)
+        assert "1.2" in text and "1.23" not in text
+
+    def test_bool_rendering(self):
+        text = format_table(["ok"], [[True], [False]])
+        assert "yes" in text and "no" in text
+
+    def test_infinity(self):
+        text = format_table(["v"], [[float("inf")]])
+        assert "inf" in text
+
+    def test_empty_rows(self):
+        text = format_table(["a"], [])
+        assert "a" in text

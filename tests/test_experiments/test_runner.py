@@ -1,0 +1,83 @@
+"""Tests for the experiment result container and driver."""
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.experiments.runner import EXPERIMENTS, ExperimentResult, run_experiment
+
+
+@pytest.fixture
+def result():
+    return ExperimentResult(
+        experiment="demo",
+        title="Demo",
+        parameters={"p": 7},
+        headers=["code", "metric"],
+        rows=[["HV", 1.0], ["RDP", 2.0]],
+        notes="lower is better",
+    )
+
+
+class TestExperimentResult:
+    def test_to_text_contains_everything(self, result):
+        text = result.to_text()
+        assert "Demo" in text
+        assert "HV" in text
+        assert "lower is better" in text
+        assert "p=7" in text
+
+    def test_column(self, result):
+        assert result.column("metric") == [1.0, 2.0]
+
+    def test_column_missing(self, result):
+        with pytest.raises(InvalidParameterError):
+            result.column("nope")
+
+    def test_row_for(self, result):
+        assert result.row_for("RDP") == ["RDP", 2.0]
+
+    def test_row_for_missing(self, result):
+        with pytest.raises(InvalidParameterError):
+            result.row_for("EVENODD")
+
+
+class TestRunExperiment:
+    def test_experiment_ids(self):
+        assert EXPERIMENTS == (
+            "fig6",
+            "fig7",
+            "fig9a",
+            "fig9b",
+            "table3",
+            "reliability",
+            "rotation",
+            "rebuild",
+            "zoo",
+            "degraded-writes",
+            "lsweep",
+        )
+
+    def test_unknown_experiment(self):
+        with pytest.raises(InvalidParameterError):
+            run_experiment("fig42")
+
+    def test_table3_quick(self):
+        results = run_experiment("table3", quick=True)
+        assert len(results) == 1
+        assert results[0].experiment == "table3"
+        assert len(results[0].rows) == 5
+
+    def test_fig9b_quick(self):
+        results = run_experiment("fig9b", quick=True)
+        assert results[0].headers[0] == "code"
+        assert [row[0] for row in results[0].rows] == [
+            "RDP",
+            "HDP",
+            "X-Code",
+            "H-Code",
+            "HV",
+        ]
+
+    def test_overrides_forwarded(self):
+        results = run_experiment("table3", quick=True, p=5)
+        assert results[0].parameters["p"] == 5

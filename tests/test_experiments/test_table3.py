@@ -1,0 +1,85 @@
+"""Table III tests: the measured table must match the paper's claims."""
+
+import pytest
+
+from repro.experiments.table3_comparison import (
+    average_two_element_write_cost,
+    chain_length_label,
+    run,
+)
+from repro import HVCode, XCode
+
+
+@pytest.fixture(scope="module")
+def table():
+    result = run(p=13)
+    return {row[0]: row for row in result.rows}
+
+
+COLS = {
+    "disks": 1,
+    "balanced": 2,
+    "update": 3,
+    "write2": 4,
+    "chains": 5,
+    "lengths": 6,
+}
+
+
+class TestAgainstPaperTable3:
+    def test_load_balancing_column(self, table):
+        assert table["RDP"][COLS["balanced"]] is False
+        assert table["HDP"][COLS["balanced"]] is True
+        assert table["X-Code"][COLS["balanced"]] is True
+        assert table["H-Code"][COLS["balanced"]] is False
+        assert table["HV"][COLS["balanced"]] is True
+
+    def test_update_complexity_column(self, table):
+        # RDP: "more than 2 extra updates"; HDP: 3; X/H/HV: 2.
+        assert table["RDP"][COLS["update"]] > 2.0
+        assert table["HDP"][COLS["update"]] == pytest.approx(3.0)
+        for name in ("X-Code", "H-Code", "HV"):
+            assert table[name][COLS["update"]] == pytest.approx(2.0)
+
+    def test_partial_write_cost_column(self, table):
+        # "low cost" codes sit near the 3.0 optimum; "high cost" well
+        # above it.
+        assert table["H-Code"][COLS["write2"]] == pytest.approx(3.0)
+        assert table["HV"][COLS["write2"]] < 3.2
+        assert table["RDP"][COLS["write2"]] < 4.0
+        assert table["X-Code"][COLS["write2"]] > 3.5
+        assert table["HDP"][COLS["write2"]] > 3.5
+
+    def test_recovery_chain_column(self, table):
+        # Paper: 4 chains for X-Code and HV, 2 for HDP.
+        assert table["HV"][COLS["chains"]] >= 4
+        assert table["X-Code"][COLS["chains"]] >= 4
+        assert table["HDP"][COLS["chains"]] == 2
+        assert table["RDP"][COLS["chains"]] <= 2
+        assert table["H-Code"][COLS["chains"]] <= 2
+
+    def test_chain_length_column(self, table):
+        p = 13
+        assert table["HV"][COLS["lengths"]] == str(p - 2)
+        assert table["X-Code"][COLS["lengths"]] == str(p - 1)
+        assert table["HDP"][COLS["lengths"]] == f"{p - 2}, {p - 1}"
+        assert table["RDP"][COLS["lengths"]] == str(p)
+        assert table["H-Code"][COLS["lengths"]] == str(p)
+
+    def test_disk_counts(self, table):
+        assert table["RDP"][COLS["disks"]] == 14
+        assert table["HDP"][COLS["disks"]] == 12
+        assert table["X-Code"][COLS["disks"]] == 13
+        assert table["H-Code"][COLS["disks"]] == 14
+        assert table["HV"][COLS["disks"]] == 12
+
+
+class TestHelpers:
+    def test_two_element_cost_bounds(self):
+        # Any MDS code needs >= 3 parity updates for two continuous
+        # elements (proof cited in Section IV.5).
+        assert average_two_element_write_cost(HVCode(7)) >= 3.0
+        assert average_two_element_write_cost(XCode(7)) >= 3.0
+
+    def test_chain_length_label_sorted(self):
+        assert chain_length_label(HVCode(7)) == "5"

@@ -1,0 +1,80 @@
+"""Tests for the all-codes comparison and the bar-chart renderer."""
+
+import pytest
+
+from repro.experiments.all_codes_comparison import run as run_zoo
+from repro.experiments.render import format_bar_chart
+from repro.experiments.runner import render_results, run_experiment
+from repro.exceptions import InvalidParameterError
+
+
+class TestZoo:
+    @pytest.fixture(scope="class")
+    def zoo(self):
+        return run_zoo(p=7)
+
+    def test_covers_all_nine_codes(self, zoo):
+        names = {row[0] for row in zoo.rows}
+        assert names == {
+            "HV",
+            "RDP",
+            "HDP",
+            "X-Code",
+            "H-Code",
+            "EVENODD",
+            "P-Code",
+            "Liberation",
+            "Cauchy-RS",
+        }
+
+    def test_storage_efficiency_is_k_over_n(self, zoo):
+        for row in zoo.rows:
+            disks = row[1]
+            assert row[3] == pytest.approx((disks - 2) / disks)
+
+    def test_hv_shortest_chain_among_full_height(self, zoo):
+        by_name = {row[0]: row for row in zoo.rows}
+        # Among the (p-1)-row codes HV has the shortest chains.
+        assert by_name["HV"][6] <= by_name["HDP"][6]
+        assert by_name["HV"][6] < by_name["RDP"][6]
+
+    def test_runner_integration(self):
+        results = run_experiment("zoo", quick=True)
+        assert results[0].parameters["p"] == 5
+
+
+class TestBarCharts:
+    def test_contains_all_labels(self):
+        chart = format_bar_chart(
+            ["code", "metric"], [["HV", 1.0], ["RDP", 2.0]], title="T"
+        )
+        assert "T" in chart
+        assert "HV" in chart and "RDP" in chart
+
+    def test_bars_scale_to_group_max(self):
+        chart = format_bar_chart(
+            ["code", "m"], [["a", 1.0], ["b", 2.0]], width=10
+        )
+        lines = chart.splitlines()
+        bar_a = next(line for line in lines if line.strip().startswith("a"))
+        bar_b = next(line for line in lines if line.strip().startswith("b"))
+        assert bar_b.count("#") == 10
+        assert bar_a.count("#") == 5
+
+    def test_zero_values_have_no_bar(self):
+        chart = format_bar_chart(["code", "m"], [["a", 0.0], ["b", 3.0]])
+        line_a = next(
+            line for line in chart.splitlines() if line.strip().startswith("a")
+        )
+        assert "#" not in line_a
+
+    def test_render_results_chart_format(self):
+        results = run_experiment("table3", quick=True)
+        chart = render_results(results, "chart")
+        assert "Table III" in chart
+        assert "#" in chart
+
+    def test_unknown_format_rejected(self):
+        results = run_experiment("table3", quick=True)
+        with pytest.raises(InvalidParameterError):
+            render_results(results, "svg")

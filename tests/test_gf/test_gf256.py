@@ -1,0 +1,76 @@
+"""Tests for the vectorized GF(256) byte kernels."""
+
+import numpy as np
+import pytest
+
+from repro.gf.gf256 import GF256, gf256
+
+
+class TestScalarOps:
+    def test_matches_generic_field(self):
+        field = gf256.field
+        for a in (0, 1, 2, 53, 255):
+            for b in (0, 1, 77, 254):
+                assert gf256.mul(a, b) == field.mul(a, b)
+
+    def test_div_and_inverse(self):
+        for a in (1, 3, 9, 200):
+            assert gf256.mul(gf256.inverse(a), a) == 1
+            assert gf256.div(gf256.mul(a, 7), 7) == a
+
+    def test_generator_power(self):
+        assert gf256.generator_power(0) == 1
+        assert gf256.generator_power(1) == 2
+        assert gf256.generator_power(255) == 1
+
+
+class TestBulkOps:
+    def test_mul_bytes_matches_scalar(self):
+        rng = np.random.default_rng(0)
+        data = rng.integers(0, 256, 64, dtype=np.uint8)
+        for c in (0, 1, 2, 29, 255):
+            out = gf256.mul_bytes(c, data)
+            expect = np.array([gf256.mul(c, int(x)) for x in data], dtype=np.uint8)
+            assert np.array_equal(out, expect)
+
+    def test_mul_bytes_by_zero_is_zero(self):
+        data = np.arange(32, dtype=np.uint8)
+        assert not gf256.mul_bytes(0, data).any()
+
+    def test_mul_bytes_by_one_copies(self):
+        data = np.arange(32, dtype=np.uint8)
+        out = gf256.mul_bytes(1, data)
+        assert np.array_equal(out, data)
+        out[0] = 99  # must be a copy, not a view
+        assert data[0] == 0
+
+    def test_mul_add_bytes_accumulates(self):
+        rng = np.random.default_rng(1)
+        acc = rng.integers(0, 256, 16, dtype=np.uint8)
+        data = rng.integers(0, 256, 16, dtype=np.uint8)
+        expect = acc ^ gf256.mul_bytes(13, data)
+        gf256.mul_add_bytes(acc, 13, data)
+        assert np.array_equal(acc, expect)
+
+    def test_mul_add_bytes_zero_coefficient_is_noop(self):
+        acc = np.arange(8, dtype=np.uint8)
+        before = acc.copy()
+        gf256.mul_add_bytes(acc, 0, np.full(8, 255, dtype=np.uint8))
+        assert np.array_equal(acc, before)
+
+    def test_mul_add_bytes_one_coefficient_is_xor(self):
+        acc = np.arange(8, dtype=np.uint8)
+        data = np.full(8, 0x0F, dtype=np.uint8)
+        expect = acc ^ data
+        gf256.mul_add_bytes(acc, 1, data)
+        assert np.array_equal(acc, expect)
+
+
+class TestTableConstruction:
+    def test_fresh_instance_equals_shared(self):
+        fresh = GF256()
+        assert np.array_equal(fresh._mul_table, gf256._mul_table)
+
+    def test_mul_table_diagonal_squares(self):
+        for a in (0, 1, 2, 3, 100):
+            assert gf256._mul_table[a, a] == gf256.field.mul(a, a)

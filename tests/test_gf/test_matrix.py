@@ -1,0 +1,90 @@
+"""Tests for matrix algebra over GF(2^w)."""
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.gf.gfw import GF2w
+from repro.gf.matrix import (
+    cauchy_matrix,
+    gf_identity,
+    gf_invert,
+    gf_matmul,
+    gf_matvec,
+    vandermonde,
+)
+
+
+@pytest.fixture(scope="module")
+def field():
+    return GF2w(8)
+
+
+class TestMatMul:
+    def test_identity(self, field):
+        a = [[1, 2, 3], [4, 5, 6], [7, 8, 9]]
+        assert gf_matmul(field, a, gf_identity(3)) == a
+        assert gf_matmul(field, gf_identity(3), a) == a
+
+    def test_shape_mismatch(self, field):
+        with pytest.raises(InvalidParameterError):
+            gf_matmul(field, [[1, 2]], [[1, 2]])
+
+    def test_matvec_matches_matmul(self, field):
+        a = [[1, 2], [3, 4]]
+        v = [5, 6]
+        col = gf_matmul(field, a, [[5], [6]])
+        assert gf_matvec(field, a, v) == [row[0] for row in col]
+
+    def test_matvec_shape_mismatch(self, field):
+        with pytest.raises(InvalidParameterError):
+            gf_matvec(field, [[1, 2]], [1, 2, 3])
+
+
+class TestInvert:
+    def test_inverse_roundtrip(self, field):
+        a = [[1, 1, 0], [2, 1, 1], [1, 3, 1]]
+        inv = gf_invert(field, a)
+        assert gf_matmul(field, a, inv) == gf_identity(3)
+        assert gf_matmul(field, inv, a) == gf_identity(3)
+
+    def test_singular_detected(self, field):
+        with pytest.raises(InvalidParameterError):
+            gf_invert(field, [[1, 2], [1, 2]])
+
+    def test_non_square_rejected(self, field):
+        with pytest.raises(InvalidParameterError):
+            gf_invert(field, [[1, 2, 3], [4, 5, 6]])
+
+    def test_identity_is_self_inverse(self, field):
+        assert gf_invert(field, gf_identity(4)) == gf_identity(4)
+
+
+class TestGeneratorMatrices:
+    def test_vandermonde_shape_and_first_rows(self, field):
+        v = vandermonde(field, 3, 5)
+        assert len(v) == 3 and len(v[0]) == 5
+        assert v[0] == [1] * 5  # row of x^0
+        assert v[1] == [field.exp(j) for j in range(5)]  # generators
+
+    def test_cauchy_square_submatrices_invertible(self, field):
+        xs = [1, 2, 3]
+        ys = [4, 5, 6]
+        c = cauchy_matrix(field, xs, ys)
+        # Every square submatrix of a Cauchy matrix is invertible;
+        # spot-check all 2x2 minors and the full 3x3.
+        gf_invert(field, c)
+        for r1 in range(3):
+            for r2 in range(r1 + 1, 3):
+                for c1 in range(3):
+                    for c2 in range(c1 + 1, 3):
+                        sub = [
+                            [c[r1][c1], c[r1][c2]],
+                            [c[r2][c1], c[r2][c2]],
+                        ]
+                        gf_invert(field, sub)
+
+    def test_cauchy_validation(self, field):
+        with pytest.raises(InvalidParameterError):
+            cauchy_matrix(field, [1, 1], [2, 3])
+        with pytest.raises(InvalidParameterError):
+            cauchy_matrix(field, [1, 2], [2, 3])

@@ -1,0 +1,96 @@
+"""Tests for polynomials over GF(2^w)."""
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.gf.gfw import GF2w
+from repro.gf.polynomial import Polynomial
+
+
+@pytest.fixture(scope="module")
+def field():
+    return GF2w(8)
+
+
+class TestBasics:
+    def test_zero_polynomial(self, field):
+        z = Polynomial.zero(field)
+        assert z.is_zero()
+        assert z.degree == -1
+        assert z.evaluate(7) == 0
+
+    def test_trailing_zeros_stripped(self, field):
+        poly = Polynomial(field, [1, 2, 0, 0])
+        assert poly.degree == 1
+
+    def test_constant(self, field):
+        c = Polynomial.constant(field, 9)
+        assert c.degree == 0
+        assert c.evaluate(123) == 9
+
+    def test_monomial(self, field):
+        m = Polynomial.monomial(field, 3, c=5)
+        assert m.degree == 3
+        assert m.evaluate(1) == 5
+
+    def test_equality_and_hash(self, field):
+        a = Polynomial(field, [1, 2, 3])
+        b = Polynomial(field, [1, 2, 3, 0])
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestArithmetic:
+    def test_add_is_self_inverse(self, field):
+        a = Polynomial(field, [3, 1, 4, 1, 5])
+        assert (a + a).is_zero()
+
+    def test_mul_degree(self, field):
+        a = Polynomial(field, [1, 1])
+        b = Polynomial(field, [2, 0, 1])
+        assert (a * b).degree == 3
+
+    def test_mul_by_zero(self, field):
+        a = Polynomial(field, [1, 2])
+        assert (a * Polynomial.zero(field)).is_zero()
+
+    def test_evaluation_is_homomorphic(self, field):
+        a = Polynomial(field, [3, 0, 7])
+        b = Polynomial(field, [1, 5])
+        for x in (0, 1, 2, 55, 254):
+            assert (a + b).evaluate(x) == a.evaluate(x) ^ b.evaluate(x)
+            assert (a * b).evaluate(x) == field.mul(a.evaluate(x), b.evaluate(x))
+
+    def test_scale(self, field):
+        a = Polynomial(field, [1, 2, 3])
+        s = a.scale(7)
+        for x in (0, 9, 100):
+            assert s.evaluate(x) == field.mul(7, a.evaluate(x))
+
+
+class TestInterpolation:
+    def test_recovers_polynomial(self, field):
+        original = Polynomial(field, [9, 4, 17, 200])
+        points = [(x, original.evaluate(x)) for x in (1, 2, 3, 4)]
+        assert Polynomial.interpolate(field, points) == original
+
+    def test_degree_bound(self, field):
+        points = [(x, field.mul(x, x)) for x in (1, 2, 3)]
+        poly = Polynomial.interpolate(field, points)
+        assert poly.degree <= 2
+        for x, y in points:
+            assert poly.evaluate(x) == y
+
+    def test_duplicate_x_rejected(self, field):
+        with pytest.raises(InvalidParameterError):
+            Polynomial.interpolate(field, [(1, 2), (1, 3)])
+
+    def test_interpolation_as_rs_oracle(self, field):
+        # Encode 4 data symbols as polynomial values, erase two, and
+        # re-interpolate from any 4 of the 6 points: the Reed-Solomon
+        # decode identity this package's RS class relies on.
+        data = [10, 20, 30, 40]
+        poly = Polynomial.interpolate(field, list(enumerate(data, start=1)))
+        codeword = [(x, poly.evaluate(x)) for x in range(1, 7)]
+        rebuilt = Polynomial.interpolate(field, codeword[2:])
+        assert rebuilt == poly

@@ -1,0 +1,49 @@
+"""Tests for load-balance metrics."""
+
+import math
+
+import pytest
+
+from repro import HCode, HDPCode, HVCode, RDPCode, XCode
+from repro.exceptions import InvalidParameterError
+from repro.metrics.balance import (
+    is_parity_balanced,
+    load_balancing_rate,
+    parity_distribution,
+)
+
+
+class TestRate:
+    def test_perfect_balance(self):
+        assert load_balancing_rate([5, 5, 5]) == 1.0
+
+    def test_ratio(self):
+        assert load_balancing_rate([10, 5]) == 2.0
+
+    def test_idle_array(self):
+        assert load_balancing_rate([0, 0]) == 1.0
+
+    def test_starved_disk_is_infinite(self):
+        assert math.isinf(load_balancing_rate([3, 0]))
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            load_balancing_rate([])
+        with pytest.raises(InvalidParameterError):
+            load_balancing_rate([1, -1])
+
+
+class TestParityPlacement:
+    def test_balanced_codes(self):
+        for cls in (HVCode, HDPCode, XCode):
+            code = cls(7)
+            assert is_parity_balanced(code), cls.name
+            assert parity_distribution(code) == [2] * code.cols
+
+    def test_unbalanced_codes(self):
+        for cls in (RDPCode, HCode):
+            assert not is_parity_balanced(cls(7)), cls.name
+
+    def test_distribution_sums_to_parity_count(self):
+        code = HVCode(11)
+        assert sum(parity_distribution(code)) == len(code.parity_positions)

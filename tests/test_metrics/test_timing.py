@@ -1,0 +1,32 @@
+"""Tests for timing aggregation."""
+
+import pytest
+
+from repro import HVCode
+from repro.array.latency import LatencyModel
+from repro.array.raid import RAID6Volume
+from repro.exceptions import InvalidParameterError
+from repro.metrics.timing import average_seconds, total_seconds
+
+
+class TestTiming:
+    def test_total_and_average(self):
+        volume = RAID6Volume(HVCode(7), num_stripes=2)
+        results = [volume.write(0, 2), volume.write(4, 2), volume.write(8, 2)]
+        assert total_seconds(results) == pytest.approx(
+            sum(r.seconds for r in results)
+        )
+        assert average_seconds(results) == pytest.approx(
+            total_seconds(results) / 3
+        )
+
+    def test_average_of_empty_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            average_seconds([])
+
+    def test_seconds_scale_with_latency(self):
+        slow = LatencyModel(seek_ms=6, bandwidth_mb_per_s=60)
+        fast = LatencyModel(seek_ms=6, bandwidth_mb_per_s=240)
+        r_slow = RAID6Volume(HVCode(7), num_stripes=2, latency=slow).write(0, 4)
+        r_fast = RAID6Volume(HVCode(7), num_stripes=2, latency=fast).write(0, 4)
+        assert r_slow.seconds > r_fast.seconds

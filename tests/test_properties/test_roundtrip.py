@@ -1,0 +1,108 @@
+"""Property-based tests: encode/erase/decode roundtrips.
+
+Hypothesis drives random data, random erasure patterns, and random
+code/prime combinations through the invariant every RAID-6 code must
+satisfy: anything the capability oracle accepts decodes back to the
+original bytes.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro import (
+    CauchyRSCode,
+    EvenOddCode,
+    HCode,
+    HDPCode,
+    HVCode,
+    LiberationCode,
+    PCode,
+    RDPCode,
+    XCode,
+)
+
+CODE_CLASSES = [
+    HVCode,
+    RDPCode,
+    XCode,
+    HDPCode,
+    HCode,
+    EvenOddCode,
+    PCode,
+    LiberationCode,
+    CauchyRSCode,
+]
+
+code_strategy = st.builds(
+    lambda cls, p: cls(p),
+    st.sampled_from(CODE_CLASSES),
+    st.sampled_from([5, 7]),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    code=code_strategy,
+    seed=st.integers(min_value=0, max_value=2**31),
+    data=st.data(),
+)
+def test_double_disk_roundtrip(code, seed, data):
+    stripe = code.random_stripe(element_size=4, seed=seed)
+    f1 = data.draw(st.integers(0, code.cols - 1))
+    f2 = data.draw(st.integers(0, code.cols - 1).filter(lambda x: x != f1))
+    broken = stripe.copy()
+    code.decode(broken, failed_disks=[f1, f2])
+    assert broken == stripe
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    code=code_strategy,
+    seed=st.integers(min_value=0, max_value=2**31),
+    data=st.data(),
+)
+def test_random_element_erasures_roundtrip(code, seed, data):
+    """Any erasure pattern the oracle accepts must decode exactly."""
+    stripe = code.random_stripe(element_size=4, seed=seed)
+    cells = sorted(code.layout)
+    k = data.draw(st.integers(0, min(8, len(cells))))
+    erased = data.draw(
+        st.lists(st.sampled_from(cells), min_size=k, max_size=k, unique=True)
+    )
+    if not code.can_recover(erased):
+        return
+    broken = stripe.copy()
+    for pos in erased:
+        broken.erase(pos)
+    code.decode(broken)
+    assert broken == stripe
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    code=code_strategy,
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_encode_idempotent(code, seed):
+    stripe = code.random_stripe(element_size=4, seed=seed)
+    again = stripe.copy()
+    code.encode(again)
+    assert again == stripe
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    code=code_strategy,
+    seed=st.integers(min_value=0, max_value=2**31),
+    data=st.data(),
+)
+def test_update_reencode_consistency(code, seed, data):
+    """Changing one data element and re-encoding equals fresh encode."""
+    stripe = code.random_stripe(element_size=4, seed=seed)
+    pos = data.draw(st.sampled_from(list(code.data_positions)))
+    new_bytes = data.draw(
+        st.lists(st.integers(0, 255), min_size=4, max_size=4)
+    )
+    stripe.set(pos, np.array(new_bytes, dtype=np.uint8))
+    code.encode(stripe)
+    assert code.verify(stripe)

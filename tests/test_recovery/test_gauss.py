@@ -1,0 +1,50 @@
+"""Tests for the standalone Gaussian reference decoder."""
+
+import pytest
+
+from repro import EvenOddCode, HVCode
+from repro.exceptions import UnrecoverableFailureError
+from repro.recovery.gauss import gaussian_decode
+from repro.utils import pairs
+
+
+class TestGaussianDecode:
+    def test_matches_peeling_decoder(self):
+        code = HVCode(7)
+        stripe = code.random_stripe(element_size=4, seed=41)
+        for f1, f2 in pairs(code.cols)[:8]:
+            via_gauss = stripe.copy()
+            via_gauss.erase_disks([f1, f2])
+            repaired = gaussian_decode(code.parity_check_system, via_gauss)
+            assert via_gauss == stripe
+            assert len(repaired) == 2 * code.rows
+
+    def test_evenodd_data_pair(self):
+        code = EvenOddCode(5)
+        stripe = code.random_stripe(element_size=4, seed=42)
+        broken = stripe.copy()
+        broken.erase_disks([0, 1])
+        gaussian_decode(code.parity_check_system, broken)
+        assert broken == stripe
+
+    def test_noop_on_healthy_stripe(self):
+        code = HVCode(5)
+        stripe = code.random_stripe(element_size=4, seed=43)
+        assert gaussian_decode(code.parity_check_system, stripe) == []
+
+    def test_rejects_over_capability(self):
+        code = HVCode(5)
+        stripe = code.random_stripe(element_size=4, seed=44)
+        stripe.erase_disks([0, 1, 2])
+        with pytest.raises(UnrecoverableFailureError):
+            gaussian_decode(code.parity_check_system, stripe)
+
+    def test_partial_erasure(self):
+        code = HVCode(7)
+        stripe = code.random_stripe(element_size=4, seed=45)
+        broken = stripe.copy()
+        for pos in list(code.layout)[::7]:
+            broken.erase(pos)
+        if code.parity_check_system.can_recover(broken.erased_positions()):
+            gaussian_decode(code.parity_check_system, broken)
+            assert broken == stripe

@@ -1,0 +1,88 @@
+"""Tests for the symbolic peeling scheduler."""
+
+import pytest
+
+from repro import HVCode, XCode
+from repro.recovery.peeling import peel_schedule
+
+
+def eq(*cells):
+    return frozenset(cells)
+
+
+class TestBasicPeeling:
+    def test_nothing_erased(self):
+        schedule = peel_schedule([eq((0, 0), (0, 1))], [])
+        assert schedule.complete
+        assert schedule.num_rounds == 0
+        assert schedule.parallelism == 0
+
+    def test_single_equation_single_loss(self):
+        schedule = peel_schedule([eq((0, 0), (0, 1), (0, 2))], [(0, 1)])
+        assert schedule.complete
+        assert schedule.recovered == [(0, 1)]
+        assert schedule.num_rounds == 1
+
+    def test_stuck_when_two_lost_in_only_equation(self):
+        schedule = peel_schedule([eq((0, 0), (0, 1))], [(0, 0), (0, 1)])
+        assert not schedule.complete
+        assert schedule.stuck == {(0, 0), (0, 1)}
+
+    def test_chained_recovery_needs_two_rounds(self):
+        # eq1 repairs a; only then eq2 can repair b.
+        eq1 = eq((0, 0), (0, 1))
+        eq2 = eq((0, 0), (0, 2))
+        schedule = peel_schedule([eq1, eq2], [(0, 0), (0, 2)])
+        assert schedule.complete
+        assert schedule.num_rounds == 2
+        assert schedule.recovered == [(0, 0), (0, 2)]
+
+    def test_independent_losses_in_one_round(self):
+        eq1 = eq((0, 0), (0, 1))
+        eq2 = eq((1, 0), (1, 1))
+        schedule = peel_schedule([eq1, eq2], [(0, 0), (1, 0)])
+        assert schedule.num_rounds == 1
+        assert schedule.parallelism == 2
+
+    def test_lowest_equation_wins_claim(self):
+        # Two equations could repair the same cell; the schedule must
+        # be deterministic (lowest index claims).
+        eq1 = eq((0, 0), (0, 1))
+        eq2 = eq((0, 0), (0, 2))
+        schedule = peel_schedule([eq1, eq2], [(0, 0)])
+        assert schedule.rounds[0] == [((0, 0), 0)]
+
+
+class TestAgainstCodes:
+    def test_hv_double_failure_completes(self):
+        code = HVCode(7)
+        erased = {(r, d) for d in (0, 3) for r in range(code.rows)}
+        schedule = peel_schedule(code.equations, erased)
+        assert schedule.complete
+        assert len(schedule.recovered) == len(erased)
+
+    def test_round_snapshot_semantics(self):
+        # Every repair in round k must be justified by cells available
+        # strictly before round k.
+        code = XCode(7)
+        erased = {(r, d) for d in (1, 4) for r in range(code.rows)}
+        schedule = peel_schedule(code.equations, erased)
+        available = set()
+        remaining = set(erased)
+        for rnd in schedule.rounds:
+            for cell, eq_idx in rnd:
+                others = code.equations[eq_idx] - {cell}
+                assert not (others & (remaining - available)) or all(
+                    o not in remaining or o in available for o in others
+                )
+            for cell, _ in rnd:
+                available.add(cell)
+            remaining -= {cell for cell, _ in rnd}
+        assert not remaining
+
+    def test_deterministic(self):
+        code = HVCode(7)
+        erased = {(r, d) for d in (2, 5) for r in range(code.rows)}
+        a = peel_schedule(code.equations, erased)
+        b = peel_schedule(code.equations, erased)
+        assert a.rounds == b.rounds

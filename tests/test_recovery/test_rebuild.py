@@ -1,0 +1,59 @@
+"""Tests for the single-disk rebuild simulator."""
+
+import pytest
+
+from repro import HVCode, RDPCode
+from repro.array.latency import LatencyModel
+from repro.exceptions import InvalidParameterError
+from repro.recovery.rebuild import (
+    RebuildResult,
+    expected_rebuild_seconds,
+    simulate_rebuild,
+)
+from repro.recovery.single import plan_single_disk_recovery
+
+
+class TestSimulation:
+    def test_reads_match_plan(self):
+        code = HVCode(7)
+        plan = plan_single_disk_recovery(code, 0, method="greedy")
+        result = simulate_rebuild(code, 0, per_disk_elements=code.rows * 10)
+        assert result.total_reads == plan.total_reads * 10
+        assert result.reads_per_disk[0] == 0  # failed disk reads nothing
+
+    def test_spare_writes_cover_capacity(self):
+        code = HVCode(7)
+        result = simulate_rebuild(code, 1, per_disk_elements=code.rows * 4)
+        assert result.spare_writes == code.rows * 4
+
+    def test_seconds_equal_busiest_reader(self):
+        code = HVCode(7)
+        latency = LatencyModel()
+        result = simulate_rebuild(code, 2, code.rows * 5, latency=latency)
+        assert result.seconds == pytest.approx(
+            latency.serve(max(result.reads_per_disk))
+        )
+
+    def test_time_linear_in_capacity(self):
+        code = HVCode(7)
+        small = simulate_rebuild(code, 0, code.rows * 2).seconds
+        large = simulate_rebuild(code, 0, code.rows * 20).seconds
+        assert large == pytest.approx(10 * small)
+
+    def test_capacity_below_stripe_rejected(self):
+        code = HVCode(7)
+        with pytest.raises(InvalidParameterError):
+            simulate_rebuild(code, 0, per_disk_elements=code.rows - 1)
+
+
+class TestExpectation:
+    def test_hv_rebuilds_faster_than_rdp(self):
+        for p in (7, 13):
+            hv = expected_rebuild_seconds(HVCode(p), 1200)
+            rdp = expected_rebuild_seconds(RDPCode(p), 1200)
+            assert hv < rdp
+
+    def test_deterministic(self):
+        a = expected_rebuild_seconds(HVCode(7), 600)
+        b = expected_rebuild_seconds(HVCode(7), 600)
+        assert a == b

@@ -1,0 +1,124 @@
+"""Tests for minimal-I/O single-disk recovery and degraded-read plans."""
+
+import pytest
+
+from repro import HVCode, RDPCode, XCode
+from repro.exceptions import InvalidParameterError
+from repro.recovery.single import (
+    plan_degraded_read,
+    plan_single_disk_recovery,
+)
+
+
+class TestPlannerEquivalence:
+    @pytest.mark.parametrize("cls", [HVCode, XCode, RDPCode], ids=lambda c: c.name)
+    def test_milp_matches_exhaustive(self, cls):
+        code = cls(5)
+        for disk in range(code.cols):
+            exact = plan_single_disk_recovery(code, disk, method="exhaustive")
+            milp = plan_single_disk_recovery(code, disk, method="milp")
+            assert milp.total_reads == exact.total_reads, (cls.name, disk)
+
+    @pytest.mark.parametrize("cls", [HVCode, XCode], ids=lambda c: c.name)
+    def test_greedy_close_to_optimal(self, cls):
+        code = cls(7)
+        for disk in range(code.cols):
+            greedy = plan_single_disk_recovery(code, disk, method="greedy")
+            milp = plan_single_disk_recovery(code, disk, method="milp")
+            assert greedy.total_reads <= milp.total_reads * 1.15
+
+
+class TestPlanValidity:
+    def test_choices_cover_every_lost_cell(self):
+        code = HVCode(7)
+        plan = plan_single_disk_recovery(code, 2)
+        assert set(plan.choices) == {(r, 2) for r in range(code.rows)}
+
+    def test_chosen_chain_contains_its_cell(self):
+        code = XCode(7)
+        plan = plan_single_disk_recovery(code, 3)
+        for cell, chain in plan.choices.items():
+            assert cell in chain.equation_cells
+
+    def test_reads_sufficient_for_each_choice(self):
+        code = HVCode(7)
+        plan = plan_single_disk_recovery(code, 1)
+        for cell, chain in plan.choices.items():
+            needed = set(chain.equation_cells) - {cell}
+            assert needed <= set(plan.reads)
+
+    def test_hybrid_beats_single_flavor(self):
+        # The optimization must beat "horizontal chains only", which
+        # costs rows x (chain length - 1) distinct reads minus overlap.
+        code = HVCode(13)
+        plan = plan_single_disk_recovery(code, 0)
+        horizontal_only = 0
+        fetched = set()
+        for r in range(code.rows):
+            cell = (r, 0)
+            chains = [
+                c for c in code.chains if cell in c.equation_cells
+            ]
+            chain = chains[0]
+            fetched |= set(chain.equation_cells) - {cell}
+        horizontal_only = len(fetched)
+        assert plan.total_reads < horizontal_only
+
+    def test_invalid_disk_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            plan_single_disk_recovery(HVCode(7), 6)
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            plan_single_disk_recovery(HVCode(7), 0, method="quantum")
+
+
+class TestDegradedRead:
+    def test_no_lost_cells_is_free(self):
+        code = HVCode(7)
+        requested = [pos for pos in code.data_positions if pos[1] != 0][:4]
+        plan = plan_degraded_read(code, 0, requested)
+        assert plan.elements_returned == 4
+        assert plan.efficiency == 1.0
+        assert not plan.extra_reads
+
+    def test_lost_cell_costs_chain(self):
+        code = HVCode(7)
+        lost = next(pos for pos in code.data_positions if pos[1] == 0)
+        plan = plan_degraded_read(code, 0, [lost])
+        assert plan.lost == (lost,)
+        assert plan.elements_returned == code.p - 3  # chain minus the lost cell
+
+    def test_requested_alive_cells_reused(self):
+        # Request an entire horizontal chain's data: rebuilding the one
+        # lost member should only fetch the chain's parity cell extra.
+        code = HVCode(7)
+        chain = code.chains[0]  # horizontal chain of row 0
+        members = sorted(chain.members)
+        lost = members[0]
+        failed_disk = lost[1]
+        requested = [m for m in members]
+        plan = plan_degraded_read(code, failed_disk, requested)
+        assert plan.lost == (lost,)
+        assert plan.extra_reads == frozenset({chain.parity})
+
+    def test_efficiency_at_least_one(self):
+        code = XCode(7)
+        for start in (0, 7, 20):
+            requested = code.data_positions[start : start + 5]
+            failed = requested[2][1]
+            plan = plan_degraded_read(code, failed, requested)
+            assert plan.efficiency >= 1.0
+
+    def test_empty_request_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            plan_degraded_read(HVCode(7), 0, [])
+
+    def test_never_reads_failed_disk(self):
+        code = RDPCode(7)
+        requested = code.data_positions[:10]
+        plan = plan_degraded_read(code, 1, requested, method="auto")
+        for cell in plan.fetched:
+            if cell in plan.lost:
+                continue
+            assert cell[1] != 1

@@ -1,0 +1,42 @@
+"""Tests for degraded-read pattern generation."""
+
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.workloads.degraded import ReadPattern, uniform_read_patterns
+
+
+class TestReadPattern:
+    def test_end(self):
+        assert ReadPattern(2, 5).end == 7
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            ReadPattern(-1, 1)
+        with pytest.raises(WorkloadError):
+            ReadPattern(0, 0)
+
+
+class TestGenerator:
+    def test_count_and_length(self):
+        pats = uniform_read_patterns(10, 600, num_patterns=100, seed=0)
+        assert len(pats) == 100
+        assert all(p.length == 10 for p in pats)
+
+    def test_fits_volume(self):
+        pats = uniform_read_patterns(15, 100, num_patterns=500, seed=1)
+        assert all(p.end <= 100 for p in pats)
+
+    def test_deterministic(self):
+        assert uniform_read_patterns(5, 100, seed=7) == uniform_read_patterns(
+            5, 100, seed=7
+        )
+
+    def test_too_long_rejected(self):
+        with pytest.raises(WorkloadError):
+            uniform_read_patterns(101, 100)
+
+    def test_paper_lengths_supported(self):
+        for length in (1, 5, 10, 15):
+            pats = uniform_read_patterns(length, 600, num_patterns=10, seed=2)
+            assert len(pats) == 10

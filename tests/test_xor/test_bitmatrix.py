@@ -1,0 +1,93 @@
+"""Tests for GF(2) matrix kernels."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DecodeError
+from repro.xor.bitmatrix import gf2_rank, gf2_row_reduce, gf2_solve
+
+
+class TestRank:
+    def test_identity(self):
+        assert gf2_rank(np.eye(5, dtype=bool)) == 5
+
+    def test_zero_matrix(self):
+        assert gf2_rank(np.zeros((3, 4), dtype=bool)) == 0
+
+    def test_dependent_rows(self):
+        m = np.array([[1, 1, 0], [0, 1, 1], [1, 0, 1]], dtype=bool)
+        # Third row is XOR of the first two.
+        assert gf2_rank(m) == 2
+
+    def test_rank_of_random_invertible(self):
+        rng = np.random.default_rng(0)
+        while True:
+            m = rng.integers(0, 2, (8, 8)).astype(bool)
+            if gf2_rank(m) == 8:
+                break
+        assert gf2_rank(m.T) == 8  # rank is transpose-invariant
+
+
+class TestRowReduce:
+    def test_pivot_columns_strictly_increase(self):
+        rng = np.random.default_rng(1)
+        m = rng.integers(0, 2, (6, 10)).astype(bool)
+        _, _, pivots = gf2_row_reduce(m)
+        assert pivots == sorted(pivots)
+        assert len(set(pivots)) == len(pivots)
+
+    def test_rhs_follows_rows(self):
+        m = np.array([[1, 1], [0, 1]], dtype=bool)
+        rhs = np.array([[3], [5]], dtype=np.uint8)
+        reduced, new_rhs, pivots = gf2_row_reduce(m, rhs)
+        assert pivots == [0, 1]
+        # Row 0 had row 1 eliminated into it: rhs0 ^= rhs1.
+        assert new_rhs[0, 0] == 3 ^ 5
+        assert new_rhs[1, 0] == 5
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            gf2_row_reduce(np.ones(3, dtype=bool))
+
+    def test_rejects_mismatched_rhs(self):
+        with pytest.raises(ValueError):
+            gf2_row_reduce(np.eye(2, dtype=bool), np.zeros(3, dtype=np.uint8))
+
+    def test_input_not_mutated(self):
+        m = np.array([[1, 1], [1, 0]], dtype=bool)
+        before = m.copy()
+        gf2_row_reduce(m)
+        assert np.array_equal(m, before)
+
+
+class TestSolve:
+    def test_unique_solution(self):
+        m = np.array([[1, 1], [0, 1]], dtype=bool)
+        # x0 ^ x1 = 6, x1 = 4 -> x0 = 2
+        rhs = np.array([6, 4], dtype=np.uint8)
+        x = gf2_solve(m, rhs)
+        assert list(x) == [2, 4]
+
+    def test_batched_rhs(self):
+        m = np.array([[1, 0], [1, 1]], dtype=bool)
+        rhs = np.array([[1, 2], [5, 6]], dtype=np.uint8)
+        x = gf2_solve(m, rhs)
+        assert np.array_equal(x[0], [1, 2])
+        assert np.array_equal(x[1], [1 ^ 5, 2 ^ 6])
+
+    def test_underdetermined_raises(self):
+        m = np.array([[1, 1]], dtype=bool)
+        with pytest.raises(DecodeError):
+            gf2_solve(m, np.array([1], dtype=np.uint8))
+
+    def test_overdetermined_consistent(self):
+        m = np.array([[1, 0], [0, 1], [1, 1]], dtype=bool)
+        rhs = np.array([3, 5, 6], dtype=np.uint8)
+        x = gf2_solve(m, rhs)
+        assert list(x) == [3, 5]
+
+    def test_inconsistent_raises(self):
+        m = np.array([[1, 0], [0, 1], [1, 1]], dtype=bool)
+        rhs = np.array([3, 5, 7], dtype=np.uint8)  # 3^5 != 7
+        with pytest.raises(DecodeError):
+            gf2_solve(m, rhs)
