@@ -12,6 +12,8 @@ The package is organized as:
 - :mod:`repro.workloads` — the paper's write/read trace generators.
 - :mod:`repro.recovery` — generic erasure decoding and the minimal-I/O
   recovery planners.
+- :mod:`repro.faults` — seeded fault injection, checksum scrubbing,
+  self-healing recovery, and orchestrated hot-spare rebuilds.
 - :mod:`repro.experiments` — one module per paper figure/table.
 
 Quickstart::
@@ -32,8 +34,13 @@ from .exceptions import (
     LayoutError,
     DecodeError,
     UnrecoverableFailureError,
+    UnrecoverableFaultError,
     SimulationError,
     WorkloadError,
+    FaultInjectionError,
+    TransientIOError,
+    LatentSectorError,
+    ChecksumMismatchError,
 )
 from .codes.base import ArrayCode, ElementKind, ParityChain, Position
 from .codes.registry import available_codes, get_code, evaluated_codes
@@ -57,8 +64,13 @@ __all__ = [
     "LayoutError",
     "DecodeError",
     "UnrecoverableFailureError",
+    "UnrecoverableFaultError",
     "SimulationError",
     "WorkloadError",
+    "FaultInjectionError",
+    "TransientIOError",
+    "LatentSectorError",
+    "ChecksumMismatchError",
     "ArrayCode",
     "ElementKind",
     "ParityChain",

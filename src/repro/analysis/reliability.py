@@ -171,3 +171,140 @@ def mttdl_comparison(
     """MTTDL table across codes (the reliability ablation's engine)."""
     params = params or ReliabilityParameters()
     return {code.name: mttdl_for_code(code, params) for code in codes}
+
+
+# -- latent-sector-error extension ---------------------------------------------
+#
+# The Markov model above assumes rebuilds always succeed.  Real RAID-6
+# reliability is dominated by unrecoverable read errors (UREs) struck
+# *during* a rebuild: with one disk down a URE on a survivor is still
+# tolerable (the second parity absorbs it — the one-disk-plus-one-
+# sector design point the fault-injection scenarios exercise), but with
+# two disks down a URE is fatal.  The extension below folds that into
+# the chain: the double-rebuild transition splits into a successful
+# repair (rate mu2 * (1 - p_ure)) and a loss (rate mu2 * p_ure).
+
+
+@dataclass(frozen=True)
+class SectorErrorParameters:
+    """Latent-sector-error model inputs.
+
+    ``bits_per_element`` prices one element read against the
+    ``unrecoverable_bit_error_rate`` (datasheet UREs are quoted per
+    bits read; 1e-15 is a typical nearline figure).  The probability
+    that a rebuild reading ``n`` elements hits at least one URE is
+    ``1 - (1 - ber)^(n * bits_per_element)``.
+    """
+
+    unrecoverable_bit_error_rate: float = 1.0e-15
+    bits_per_element: float = 16 * 1024 * 1024 * 8  # the paper's 16 MB
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.unrecoverable_bit_error_rate < 1.0:
+            raise InvalidParameterError("bit error rate must be in [0, 1)")
+        if self.bits_per_element <= 0:
+            raise InvalidParameterError("bits_per_element must be positive")
+
+    def ure_probability(self, elements_read: float) -> float:
+        """P(at least one URE over ``elements_read`` element reads)."""
+        if elements_read < 0:
+            raise InvalidParameterError("elements_read must be >= 0")
+        bits = elements_read * self.bits_per_element
+        return -float(np.expm1(bits * np.log1p(-self.unrecoverable_bit_error_rate)))
+
+
+def raid6_mttdl_hours_with_sector_errors(
+    num_disks: int,
+    failure_rate: float,
+    repair_rate_single: float,
+    repair_rate_double: float,
+    p_ure_double: float,
+) -> float:
+    """MTTDL with URE-poisoned double rebuilds.
+
+    ``p_ure_double`` is the probability that the two-disk rebuild hits
+    an unrecoverable sector; that fraction of rebuild completions is a
+    data-loss absorption instead of a repair.
+    """
+    if num_disks < 3:
+        raise InvalidParameterError("RAID-6 reliability needs >= 3 disks")
+    if not 0.0 <= p_ure_double <= 1.0:
+        raise InvalidParameterError("p_ure_double must be in [0, 1]")
+    n, lam = num_disks, failure_rate
+    mu1, mu2 = repair_rate_single, repair_rate_double
+    mu2_ok = mu2 * (1.0 - p_ure_double)
+    mu2_loss = mu2 * p_ure_double
+    generator = np.array(
+        [
+            [-n * lam, n * lam, 0.0],
+            [mu1, -(mu1 + (n - 1) * lam), (n - 1) * lam],
+            [0.0, mu2_ok, -(mu2_ok + mu2_loss + (n - 2) * lam)],
+        ]
+    )
+    return float(MarkovChainModel(generator).expected_absorption_times()[0])
+
+
+def mttdl_with_sector_errors(
+    code: "ArrayCode",
+    params: ReliabilityParameters | None = None,
+    sector: SectorErrorParameters | None = None,
+    measured_double_failure_fraction: float | None = None,
+) -> dict[str, float]:
+    """The MTTDL ingredients with the latent-sector-error extension.
+
+    ``measured_double_failure_fraction`` substitutes a simulation-backed
+    estimate of the fatal-URE probability — e.g. the fraction of
+    double-adversity scenarios from
+    :func:`repro.faults.scenarios.compare_codes` that did not survive —
+    for the analytic datasheet figure.
+    """
+    params = params or ReliabilityParameters()
+    sector = sector or SectorErrorParameters()
+    single_hours = single_disk_rebuild_hours(code, params)
+    double_hours = double_disk_rebuild_hours(code, params, single_hours)
+    reads = expected_recovery_reads_per_element(code, method="greedy")
+    # The double rebuild reads roughly twice the single-rebuild volume.
+    double_read_elements = 2.0 * reads * params.disk_capacity_elements
+    p_ure = (
+        measured_double_failure_fraction
+        if measured_double_failure_fraction is not None
+        else sector.ure_probability(double_read_elements)
+    )
+    mttdl = raid6_mttdl_hours_with_sector_errors(
+        code.cols,
+        params.failure_rate_per_hour,
+        1.0 / single_hours,
+        1.0 / double_hours,
+        p_ure,
+    )
+    baseline = raid6_mttdl_hours(
+        code.cols,
+        params.failure_rate_per_hour,
+        1.0 / single_hours,
+        1.0 / double_hours,
+    )
+    return {
+        "disks": float(code.cols),
+        "single_rebuild_hours": single_hours,
+        "double_rebuild_hours": double_hours,
+        "p_ure_double_rebuild": p_ure,
+        "mttdl_hours": mttdl,
+        "mttdl_hours_no_sector_errors": baseline,
+        "mttdl_penalty": baseline / mttdl if mttdl > 0 else float("inf"),
+    }
+
+
+def calibrate_sector_model(scenario_results) -> float:
+    """A simulation-backed fatal-fault fraction from scenario dicts.
+
+    Accepts the ``results`` list of one code's entry from
+    :func:`repro.faults.scenarios.compare_codes` (or any iterable of
+    :class:`ScenarioResult`-shaped dicts) and returns the fraction that
+    did not survive — the plug-in estimate for
+    ``measured_double_failure_fraction`` above.
+    """
+    results = list(scenario_results)
+    if not results:
+        raise InvalidParameterError("calibration needs at least one scenario")
+    fatal = sum(1 for r in results if not r.get("survived", False))
+    return fatal / len(results)

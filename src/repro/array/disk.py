@@ -10,19 +10,28 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..exceptions import SimulationError
+from ..exceptions import SimulationError, TransientIOError
 from .latency import LatencyModel
 
 
 @dataclass
 class SimulatedDisk:
-    """One disk of the simulated array."""
+    """One disk of the simulated array.
+
+    Besides the hard ``failed`` state, a disk can carry a *transient
+    fault budget*: the next ``transient_errors`` element requests raise
+    :class:`TransientIOError` (each attempt consumes one unit), after
+    which service resumes.  This models command timeouts and bus
+    hiccups that a bounded retry loop is expected to ride out.
+    """
 
     disk_id: int
     latency: LatencyModel = field(default_factory=LatencyModel)
     failed: bool = False
     reads: int = 0
     writes: int = 0
+    transient_errors: int = 0
+    transient_errors_seen: int = 0
 
     def fail(self) -> None:
         """Take the disk down (hardware fault injection)."""
@@ -32,12 +41,28 @@ class SimulatedDisk:
         """Bring the disk back after reconstruction."""
         self.failed = False
 
+    def inject_transient(self, count: int = 1) -> None:
+        """Arm the next ``count`` requests to fail transiently."""
+        if count < 0:
+            raise SimulationError("transient fault count must be >= 0")
+        self.transient_errors += count
+
+    def _maybe_transient(self, verb: str) -> None:
+        if self.transient_errors > 0:
+            self.transient_errors -= 1
+            self.transient_errors_seen += 1
+            raise TransientIOError(
+                f"transient {verb} error on disk {self.disk_id} "
+                f"({self.transient_errors} more armed)"
+            )
+
     def read(self, count: int = 1) -> None:
         """Serve ``count`` element reads; fails loudly when down."""
         if self.failed:
             raise SimulationError(f"read from failed disk {self.disk_id}")
         if count < 0:
             raise SimulationError("read count must be >= 0")
+        self._maybe_transient("read")
         self.reads += count
 
     def write(self, count: int = 1) -> None:
@@ -46,6 +71,7 @@ class SimulatedDisk:
             raise SimulationError(f"write to failed disk {self.disk_id}")
         if count < 0:
             raise SimulationError("write count must be >= 0")
+        self._maybe_transient("write")
         self.writes += count
 
     @property

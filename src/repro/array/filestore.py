@@ -13,18 +13,37 @@ and honours disk failures the way an array does:
   data even though its disk is gone;
 - **rebuild** decodes every stripe to bring a replaced disk back.
 
-Used by ``examples/file_storage_demo.py`` and the end-to-end tests.
+Every element carries a CRC32 sidecar entry
+(:class:`~repro.faults.checksum.ChecksumSidecar`) so silent corruption
+is detectable, and an optional :class:`~repro.faults.injector.
+FaultInjector` can be attached to fire scheduled faults as element I/O
+streams through.  Reads self-heal: an element hit by a latent sector
+error (URE) is transparently rebuilt through a parity chain, escalating
+to the full decoder when chains are poisoned (see
+:mod:`repro.faults.healing`).
+
+Used by ``examples/file_storage_demo.py``, the fault-injection demo,
+and the end-to-end tests.
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from ..exceptions import InvalidParameterError, UnrecoverableFailureError
+from ..exceptions import (
+    ChecksumMismatchError,
+    InvalidParameterError,
+    TransientIOError,
+    UnrecoverableFailureError,
+)
+from ..faults.checksum import ChecksumSidecar, crc_of
+from ..faults.healing import HealingStats, decode_resilient, recover_element
 from .stripe import Stripe
 
 if TYPE_CHECKING:  # imported lazily to avoid a codes<->array cycle
     from ..codes.base import ArrayCode
+    from ..faults.checksum import ScrubReport
+    from ..faults.injector import FaultInjector
 
 Position = tuple[int, int]
 
@@ -32,13 +51,23 @@ Position = tuple[int, int]
 class FileStore:
     """A growable byte store protected by one RAID-6 array code."""
 
-    def __init__(self, code: "ArrayCode", element_size: int = 4096) -> None:
+    def __init__(
+        self,
+        code: "ArrayCode",
+        element_size: int = 4096,
+        injector: "FaultInjector" | None = None,
+    ) -> None:
         if element_size <= 0:
             raise InvalidParameterError("element_size must be positive")
         self.code = code
         self.element_size = element_size
         self.stripes: list[Stripe] = []
         self.failed_disks: set[int] = set()
+        self.sidecar = ChecksumSidecar(code.rows, code.cols)
+        self.injector = injector
+        self.healing = HealingStats()
+        if injector is not None:
+            injector.attach(self)
 
     # -- geometry --------------------------------------------------------------
 
@@ -63,9 +92,27 @@ class FileStore:
         while self.capacity < end_byte:
             stripe = self.code.make_stripe(self.element_size)
             self.code.encode(stripe)  # all-zero data, valid parity
+            self.sidecar.add_stripe(stripe)
             for disk in self.failed_disks:
                 stripe.erase_disks([disk])
             self.stripes.append(stripe)
+
+    # -- fault plumbing ----------------------------------------------------------
+
+    def _element_io(self, stripe_idx: int, pos: Position, kind: str) -> bool:
+        """Advance the injector's clock for one element access.
+
+        Returns False when a transient window on the element's disk
+        outlasted the retry budget — the caller treats the element as
+        unreadable for this operation and recovers through parity.
+        """
+        if self.injector is None:
+            return True
+        try:
+            self.injector.on_element_io(stripe_idx, pos, kind)
+        except TransientIOError:
+            return False
+        return True
 
     # -- failure management ----------------------------------------------------------
 
@@ -86,13 +133,27 @@ class FileStore:
             stripe.erase_disks([disk])
 
     def rebuild(self, disk: int) -> None:
-        """Reconstruct a failed disk's content and bring it back."""
+        """Reconstruct a failed disk's content and bring it back.
+
+        Restored elements are verified against their CRC sidecars, so a
+        rebuild silently poisoned by an undetected flip fails loudly
+        (run a scrub first).  For a fault-aware, checkpointed rebuild
+        use :class:`repro.faults.rebuild_orchestrator.
+        RebuildOrchestrator`.
+        """
         if disk not in self.failed_disks:
             raise InvalidParameterError(f"disk {disk} is not failed")
-        for stripe in self.stripes:
+        for idx, stripe in enumerate(self.stripes):
             restored = self._reconstructed(stripe)
             for r in range(self.code.rows):
-                stripe.set((r, disk), restored.get((r, disk)))
+                buf = restored.get((r, disk))
+                if crc_of(buf) != self.sidecar.expected(idx, (r, disk)):
+                    raise ChecksumMismatchError(
+                        f"rebuild of disk {disk}: stripe {idx} element "
+                        f"({r}, {disk}) decoded to content that fails its "
+                        "checksum — scrub before rebuilding"
+                    )
+                stripe.set((r, disk), buf)
         self.failed_disks.discard(disk)
 
     def scrub(self) -> list[int]:
@@ -105,13 +166,25 @@ class FileStore:
             if not self.code.verify(stripe)
         ]
 
+    def scrub_checksums(self, repair: bool = True) -> "ScrubReport":
+        """CRC-scrub every element, repairing flips and latent errors.
+
+        Unlike :meth:`scrub` this works on degraded stores too; see
+        :func:`repro.faults.checksum.scrub_store`.
+        """
+        from ..faults.checksum import scrub_store
+
+        return scrub_store(self, repair=repair)
+
     def _reconstructed(self, stripe: Stripe) -> Stripe:
-        """A fully-decoded copy of a (possibly degraded) stripe."""
-        if not stripe.erased.any():
+        """A fully-decoded copy of a (possibly degraded) stripe.
+
+        Routes through the resilient decoder so latent sector errors on
+        surviving disks are absorbed instead of crashing the read.
+        """
+        if not stripe.erased.any() and not stripe.latent.any():
             return stripe
-        copy = stripe.copy()
-        self.code.decode(copy)
-        return copy
+        return decode_resilient(self.code, stripe, self.healing)
 
     # -- byte I/O ----------------------------------------------------------------
 
@@ -132,11 +205,18 @@ class FileStore:
             stripe_idx, pos = self._locate(element_index)
             chunk = min(remaining, self.element_size - within)
             stripe = self.stripes[stripe_idx]
-            if not stripe.alive(pos):
-                if stripe_idx not in decoded_cache:
-                    decoded_cache[stripe_idx] = self._reconstructed(stripe)
-                stripe = decoded_cache[stripe_idx]
-            buf = stripe.get(pos)
+            served = self._element_io(stripe_idx, pos, "read")
+            if stripe.readable(pos) and served:
+                buf = stripe.get(pos)
+            elif stripe_idx in decoded_cache:
+                buf = decoded_cache[stripe_idx].get(pos)
+            elif stripe.readable(pos):
+                # Transient exhaustion only: the media is fine, rebuild
+                # this element from its peers without decoding the rest.
+                buf = recover_element(self.code, stripe, pos, self.healing)
+            else:
+                decoded_cache[stripe_idx] = self._reconstructed(stripe)
+                buf = decoded_cache[stripe_idx].get(pos)
             out += bytes(buf[within : within + chunk])
             cursor += chunk
             remaining -= chunk
@@ -166,11 +246,15 @@ class FileStore:
         self, stripe_idx: int, pos: Position, within: int, piece: memoryview
     ) -> None:
         stripe = self.stripes[stripe_idx]
-        if not stripe.erased.any():
+        self._element_io(stripe_idx, pos, "write")
+        if not stripe.erased.any() and not stripe.latent.any():
             old = stripe.get(pos)
             new = old.copy()
             new[within : within + len(piece)] = bytearray(piece)
-            self.code.update_element(stripe, pos, new)
+            rewritten = self.code.update_element(stripe, pos, new)
+            self.sidecar.record(stripe_idx, pos, new)
+            for parity in rewritten:
+                self.sidecar.record(stripe_idx, parity, stripe.get(parity))
             return
         # Degraded stripe: reconstruct-write.  Apply the update on a
         # decoded copy, then persist every surviving cell; the failed
@@ -185,6 +269,8 @@ class FileStore:
                 if c in self.failed_disks:
                     continue
                 stripe.set((r, c), restored.get((r, c)))
+        # The sidecar tracks logical content, failed columns included.
+        self.sidecar.record_stripe(stripe_idx, restored)
 
     def __repr__(self) -> str:
         return (

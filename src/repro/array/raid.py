@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
-from ..exceptions import InvalidParameterError, SimulationError
+from ..exceptions import InvalidParameterError, SimulationError, TransientIOError
 from ..recovery.single import plan_degraded_read
 from .addressing import VolumeAddressing
 from .disk import SimulatedDisk
@@ -62,6 +62,9 @@ class PatternResult:
 class RAID6Volume:
     """A multi-stripe RAID-6 volume over simulated disks."""
 
+    #: Bounded retry budget for transient disk errors per request.
+    MAX_TRANSIENT_RETRIES = 3
+
     def __init__(
         self,
         code: "ArrayCode",
@@ -76,6 +79,7 @@ class RAID6Volume:
             SimulatedDisk(d, latency=self.latency) for d in range(code.cols)
         ]
         self.stats = IOStats(code.cols)
+        self.transient_retries = 0
 
     # -- disk state ------------------------------------------------------------
 
@@ -84,9 +88,18 @@ class RAID6Volume:
         return self.code.cols
 
     def fail_disk(self, disk: int) -> None:
+        """Take a disk down; RAID-6 tolerates up to two concurrently.
+
+        A third concurrent failure exceeds the code and is rejected.
+        Write and degraded-read paths keep their own (stricter) guards;
+        recovery experiments may drive a doubly-failed volume.
+        """
         self._check_disk(disk)
-        if any(d.failed for d in self.disks if d.disk_id != disk):
-            raise SimulationError("only one failed disk is supported here")
+        others = [d.disk_id for d in self.disks if d.failed and d.disk_id != disk]
+        if len(others) >= 2:
+            raise SimulationError(
+                f"disks {others} already failed; a third failure exceeds RAID-6"
+            )
         self.disks[disk].fail()
 
     def heal_disk(self, disk: int) -> None:
@@ -102,13 +115,30 @@ class RAID6Volume:
 
     # -- request plumbing ----------------------------------------------------------
 
+    def _serve(self, disk: int, kind: str, count: int) -> None:
+        """One disk request with a bounded transient-retry loop.
+
+        Each retry is charged as an extra request on the disk's ledger
+        (the bus really did carry the command); when the budget runs
+        out the :class:`TransientIOError` propagates to the caller.
+        """
+        op = self.disks[disk].read if kind == "read" else self.disks[disk].write
+        for attempt in range(self.MAX_TRANSIENT_RETRIES + 1):
+            try:
+                op(count)
+                return
+            except TransientIOError:
+                self.transient_retries += 1
+                if attempt == self.MAX_TRANSIENT_RETRIES:
+                    raise
+
     def _charge(self, pattern_io: IOStats, disk: int, reads: int, writes: int) -> None:
         if reads:
-            self.disks[disk].read(reads)
+            self._serve(disk, "read", reads)
             pattern_io.record_read(disk, reads)
             self.stats.record_read(disk, reads)
         if writes:
-            self.disks[disk].write(writes)
+            self._serve(disk, "write", writes)
             pattern_io.record_write(disk, writes)
             self.stats.record_write(disk, writes)
 

@@ -13,7 +13,7 @@ from collections.abc import Iterable
 
 import numpy as np
 
-from ..exceptions import InvalidParameterError, SimulationError
+from ..exceptions import InvalidParameterError, LatentSectorError, SimulationError
 
 #: A cell coordinate: ``(row, col)``, 0-based.
 Position = tuple[int, int]
@@ -43,6 +43,7 @@ class Stripe:
         self.element_size = element_size
         self.data = np.zeros((rows, cols, element_size), dtype=np.uint8)
         self.erased = np.zeros((rows, cols), dtype=bool)
+        self.latent = np.zeros((rows, cols), dtype=bool)
 
     # -- accessors ------------------------------------------------------------
 
@@ -55,10 +56,18 @@ class Stripe:
         return r, c
 
     def get(self, pos: Position) -> np.ndarray:
-        """The element buffer at ``pos``; fails if the cell is erased."""
+        """The element buffer at ``pos``; fails if the cell is erased.
+
+        A cell carrying a latent sector error raises
+        :class:`LatentSectorError` — the disk is up but the media is
+        unreadable, and callers are expected to repair through a parity
+        chain (which rewrites the cell and clears the fault).
+        """
         r, c = self._check(pos)
         if self.erased[r, c]:
             raise SimulationError(f"element {pos} is erased")
+        if self.latent[r, c]:
+            raise LatentSectorError((r, c))
         return self.data[r, c]
 
     def set(self, pos: Position, buf: np.ndarray) -> None:
@@ -71,10 +80,16 @@ class Stripe:
             )
         self.data[r, c] = arr
         self.erased[r, c] = False
+        self.latent[r, c] = False
 
     def alive(self, pos: Position) -> bool:
         r, c = self._check(pos)
         return not self.erased[r, c]
+
+    def readable(self, pos: Position) -> bool:
+        """True when the element can actually be fetched right now."""
+        r, c = self._check(pos)
+        return not (self.erased[r, c] or self.latent[r, c])
 
     # -- erasure --------------------------------------------------------------
 
@@ -82,6 +97,7 @@ class Stripe:
         """Erase one element (content is zeroed to make stale reads loud)."""
         r, c = self._check(pos)
         self.erased[r, c] = True
+        self.latent[r, c] = False  # erasure supersedes a media fault
         self.data[r, c] = 0
 
     def erase_disks(self, disks: Iterable[int]) -> None:
@@ -97,6 +113,51 @@ class Stripe:
         rs, cs = np.nonzero(self.erased)
         return [(int(r), int(c)) for r, c in zip(rs, cs)]
 
+    # -- injected media faults ----------------------------------------------------
+
+    def mark_latent(self, pos: Position) -> None:
+        """Give one element a latent sector error (URE on next read).
+
+        Unlike :meth:`erase` the buffer is kept — the bytes are still
+        on the platter, the drive just cannot return them — so healing
+        layers can verify a chain repair restored the original content.
+        """
+        r, c = self._check(pos)
+        if self.erased[r, c]:
+            raise SimulationError(f"element {pos} is erased, cannot be latent")
+        self.latent[r, c] = True
+
+    def clear_latent(self, pos: Position) -> None:
+        """Lift a latent error without rewriting (sector remap)."""
+        r, c = self._check(pos)
+        self.latent[r, c] = False
+
+    def is_latent(self, pos: Position) -> bool:
+        r, c = self._check(pos)
+        return bool(self.latent[r, c])
+
+    def latent_positions(self) -> list[Position]:
+        """All cells currently carrying a latent sector error."""
+        rs, cs = np.nonzero(self.latent)
+        return [(int(r), int(c)) for r, c in zip(rs, cs)]
+
+    def flip_bits(self, pos: Position, byte_index: int, mask: int = 0x01) -> None:
+        """Silently corrupt one element: XOR ``mask`` into one byte.
+
+        Models an undetected bit flip — no erasure, no latent flag, no
+        error on read.  Only a checksum or parity scrub can notice.
+        """
+        r, c = self._check(pos)
+        if self.erased[r, c]:
+            raise SimulationError(f"element {pos} is erased, cannot be flipped")
+        if not 0 <= byte_index < self.element_size:
+            raise InvalidParameterError(
+                f"byte index {byte_index} outside element of {self.element_size}"
+            )
+        if not 0 < mask < 256:
+            raise InvalidParameterError(f"flip mask must be in 1..255, got {mask}")
+        self.data[r, c, byte_index] ^= mask
+
     # -- whole-stripe helpers ----------------------------------------------------
 
     def xor_of(self, positions: Iterable[Position]) -> np.ndarray:
@@ -110,6 +171,7 @@ class Stripe:
         dup = Stripe(self.rows, self.cols, self.element_size)
         dup.data = self.data.copy()
         dup.erased = self.erased.copy()
+        dup.latent = self.latent.copy()
         return dup
 
     def fill_random(self, positions: Iterable[Position], seed: int | None = None) -> None:
@@ -119,6 +181,7 @@ class Stripe:
             r, c = self._check(pos)
             self.data[r, c] = rng.integers(0, 256, self.element_size, dtype=np.uint8)
             self.erased[r, c] = False
+            self.latent[r, c] = False
 
     def __eq__(self, other: object) -> bool:
         return (
@@ -128,6 +191,7 @@ class Stripe:
             and self.element_size == other.element_size
             and bool(np.array_equal(self.data, other.data))
             and bool(np.array_equal(self.erased, other.erased))
+            and bool(np.array_equal(self.latent, other.latent))
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

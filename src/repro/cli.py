@@ -61,6 +61,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--code", default="HV", help=f"one of: {', '.join(available_codes())}"
     )
     layout.add_argument("--p", type=int, default=7)
+
+    faults = sub.add_parser(
+        "faults", help="seeded fault-injection scenarios (crash + URE + flips)"
+    )
+    faults.add_argument(
+        "--code",
+        default=None,
+        help="run one code only (default: the full evaluated set)",
+    )
+    faults.add_argument("--p", type=int, default=7)
+    faults.add_argument("--seed", type=int, default=0, help="first scenario seed")
+    faults.add_argument(
+        "--scenarios", type=int, default=5, help="seeds run per code"
+    )
+    faults.add_argument("--stripes", type=int, default=4)
+    faults.add_argument("--crashes", type=int, default=1)
+    faults.add_argument("--latent", type=int, default=1)
+    faults.add_argument("--flips", type=int, default=1)
+    faults.add_argument(
+        "--format", choices=("text", "json"), default="text"
+    )
+    faults.add_argument("--output", default=None)
     return parser
 
 
@@ -87,6 +109,48 @@ def _collect_overrides(args: argparse.Namespace) -> dict:
     return overrides
 
 
+def _run_faults(args: argparse.Namespace) -> int:
+    """Run seeded adversity scenarios and summarize per code."""
+    import json
+
+    from .faults.scenarios import compare_codes
+
+    names = (args.code,) if args.code else None
+    table = compare_codes(
+        range(args.seed, args.seed + args.scenarios),
+        p=args.p,
+        code_names=names,
+        stripes=args.stripes,
+        crashes=args.crashes,
+        latent=args.latent,
+        flips=args.flips,
+    )
+    if args.format == "json":
+        rendered = json.dumps(table, indent=2)
+    else:
+        lines = [
+            f"fault scenarios: p={args.p}, seeds {args.seed}.."
+            f"{args.seed + args.scenarios - 1}, "
+            f"{args.crashes} crash(es) + {args.latent} URE(s) + "
+            f"{args.flips} flip(s) per scenario",
+            f"{'code':<10} {'survived':>9} {'rebuild s':>10} {'repair reads':>13}",
+        ]
+        for name, row in table.items():
+            lines.append(
+                f"{name:<10} {row['survived']:>4}/{row['scenarios']:<4} "
+                f"{row['mean_rebuild_seconds']:>10.4f} "
+                f"{row['mean_repair_reads']:>13.1f}"
+            )
+        rendered = "\n".join(lines)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(rendered + "\n")
+        print(f"wrote fault-scenario results to {args.output}")
+    else:
+        print(rendered)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
 
@@ -96,6 +160,9 @@ def main(argv: list[str] | None = None) -> int:
               f"{code.data_elements_per_stripe} data elements")
         print(code.describe_layout())
         return 0
+
+    if args.command == "faults":
+        return _run_faults(args)
 
     started = time.perf_counter()
     if args.command == "all":

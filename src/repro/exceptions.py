@@ -54,6 +54,56 @@ class UnrecoverableFailureError(DecodeError):
     """More disks failed than the code tolerates (> 2 for RAID-6)."""
 
 
+class UnrecoverableFaultError(DecodeError):
+    """A fault scenario exhausted every recovery escalation.
+
+    Raised by the self-healing layer (:mod:`repro.faults.healing`) when
+    an element cannot be repaired through any parity chain *and* the
+    full double-erasure decoder cannot absorb the combined erasure +
+    latent-error pattern — the one-disk-plus-one-sector tolerance of
+    RAID-6 has genuinely been exceeded.
+    """
+
+
+class FaultInjectionError(ReproError):
+    """Base class for injected hardware faults.
+
+    These errors model the *disk's* misbehavior, not a bug in the
+    caller: a fault-aware layer is expected to catch them and escalate
+    through retries, parity-chain repair, or full decoding.
+    """
+
+
+class TransientIOError(FaultInjectionError):
+    """A retryable I/O error (cable hiccup, command timeout).
+
+    The injector raises this when a transient fault window outlasts the
+    caller's bounded retry budget; a later attempt may succeed.
+    """
+
+
+class LatentSectorError(FaultInjectionError):
+    """An unrecoverable read error (URE) on one element.
+
+    Models a latent sector error: the disk is up, but this element's
+    media is unreadable until it is rewritten.  Carries the position so
+    recovery planners can route around the poisoned cell.
+    """
+
+    def __init__(self, pos: tuple[int, int], message: str | None = None) -> None:
+        super().__init__(message or f"latent sector error at element {pos}")
+        self.pos = pos
+
+
+class ChecksumMismatchError(FaultInjectionError):
+    """An element's content no longer matches its CRC32 sidecar.
+
+    Raised when silent corruption is *detected* but cannot be repaired
+    in the current context (e.g. a rebuild decoded garbage because a
+    surviving element was silently flipped).
+    """
+
+
 class SimulationError(ReproError):
     """The disk-array simulator was driven into an illegal state.
 

@@ -1,0 +1,54 @@
+"""Fault injection, scrubbing, and self-healing recovery.
+
+This package exercises every recovery path of the reproduction under
+adversity — the regime the paper's reliability argument actually cares
+about.  Clean whole-disk failures are the easy case; real RAID-6 data
+loss is dominated by latent sector errors and silent corruption that
+surface *mid-rebuild* (cf. PAPERS.md "Beyond RAID 6" and the CR-SIM
+reliability simulator's Crashed/LatentError/Corrupted unit states).
+
+- :mod:`repro.faults.plan` — deterministic, seedable fault schedules
+  (:class:`FaultPlan`): whole-disk crashes, transient I/O error
+  windows, latent sector errors (UREs), and silent bit flips.
+- :mod:`repro.faults.injector` — :class:`FaultInjector` arms a
+  :class:`~repro.array.filestore.FileStore` with a plan and fires the
+  events at the simulated ``SimulatedDisk``/``Stripe`` boundary as
+  element I/O streams by.
+- :mod:`repro.faults.checksum` — per-element CRC32 sidecars and the
+  checksum scrub: detect silent flips and latent errors, repair each
+  bad element through a parity chain, escalating to the full decoder.
+- :mod:`repro.faults.healing` — the escalation ladder shared by every
+  recovery path: direct read → alternate parity chain → double-erasure
+  decode → :class:`~repro.exceptions.UnrecoverableFaultError`.
+- :mod:`repro.faults.rebuild_orchestrator` — stripe-by-stripe hot-spare
+  rebuilds that survive faults injected mid-rebuild, checkpoint
+  progress, and report a structured :class:`RebuildReport`.
+- :mod:`repro.faults.scenarios` — the Monte-Carlo scenario runner
+  comparing codes under identical seeded fault plans (the ``repro
+  faults`` CLI subcommand).
+"""
+
+from .plan import FaultKind, FaultEvent, FaultPlan
+from .injector import FaultInjector
+from .checksum import ChecksumSidecar, ScrubReport, scrub_store
+from .healing import HealingStats, recover_element, decode_resilient
+from .rebuild_orchestrator import RebuildOrchestrator, RebuildReport
+from .scenarios import ScenarioResult, run_scenario, compare_codes
+
+__all__ = [
+    "FaultKind",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultInjector",
+    "ChecksumSidecar",
+    "ScrubReport",
+    "scrub_store",
+    "HealingStats",
+    "recover_element",
+    "decode_resilient",
+    "RebuildOrchestrator",
+    "RebuildReport",
+    "ScenarioResult",
+    "run_scenario",
+    "compare_codes",
+]

@@ -1,0 +1,120 @@
+"""The self-healing escalation ladder shared by every recovery path.
+
+RAID-6's practical tolerance is *one disk plus one sector*: with a
+whole column erased, a latent sector error (URE) on a surviving disk
+must still be survivable, because that is precisely what dominates
+rebuild-window data loss.  This module implements the ladder:
+
+1. **direct read** — the element is readable, return it;
+2. **parity chain** — pick any chain through the element whose other
+   members are readable; if a chain is poisoned by another fault, try
+   the element's *other* chain (every cell of every code here sits on
+   at least one chain, data cells on two or more);
+3. **full decode** — treat every erased *and* latent cell as an
+   erasure and run the double-erasure decoder;
+4. **give up** — raise :class:`UnrecoverableFaultError`; the pattern
+   genuinely exceeds the code.
+
+Steps are cheap-first: a chain repair reads ``chain length - 1``
+elements, a full decode reads the whole surviving stripe.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..exceptions import UnrecoverableFailureError, UnrecoverableFaultError
+
+if TYPE_CHECKING:
+    from ..array.stripe import Stripe
+    from ..codes.base import ArrayCode
+
+Position = tuple[int, int]
+
+
+class HealingStats:
+    """Counters one healing call chain accumulates.
+
+    ``chain_repairs`` and ``escalations`` mirror the scrub report;
+    ``reads`` is the element reads the ladder charged.
+    """
+
+    def __init__(self) -> None:
+        self.chain_repairs = 0
+        self.escalations = 0
+        self.reads = 0
+
+    def merge(self, other: "HealingStats") -> None:
+        self.chain_repairs += other.chain_repairs
+        self.escalations += other.escalations
+        self.reads += other.reads
+
+
+def _chains_through(code: "ArrayCode", pos: Position):
+    chains = list(code.chains_through[pos])
+    if pos in code.chain_at:
+        chains.append(code.chain_at[pos])
+    return chains
+
+
+def recover_element(
+    code: "ArrayCode",
+    stripe: "Stripe",
+    pos: Position,
+    stats: HealingStats | None = None,
+) -> np.ndarray:
+    """Return the logical content of ``pos``, healing as needed.
+
+    Does not mutate the stripe — callers that want the repair persisted
+    (scrub, rebuild) write the returned buffer back themselves.
+    """
+    stats = stats if stats is not None else HealingStats()
+    if stripe.readable(pos):
+        stats.reads += 1
+        return stripe.get(pos).copy()
+    # Rung 2: any chain whose other members are all readable.
+    for chain in _chains_through(code, pos):
+        others = [c for c in chain.equation_cells if c != pos]
+        if all(stripe.readable(c) for c in others):
+            stats.reads += len(others)
+            stats.chain_repairs += 1
+            return stripe.xor_of(others)
+    # Rung 3: full decode with every latent cell treated as erased.
+    restored = decode_resilient(code, stripe, stats)
+    return restored.get(pos).copy()
+
+
+def decode_resilient(
+    code: "ArrayCode",
+    stripe: "Stripe",
+    stats: HealingStats | None = None,
+) -> "Stripe":
+    """A fully-decoded copy of a stripe with erasures *and* UREs.
+
+    Latent cells are demoted to erasures (their buffers cannot be
+    trusted to be fetchable), then the standard peeling + Gaussian
+    decoder runs.  Raises :class:`UnrecoverableFaultError` when the
+    combined pattern exceeds the code.
+    """
+    stats = stats if stats is not None else HealingStats()
+    work = stripe.copy()
+    latent = work.latent_positions()
+    for pos in latent:
+        work.erase(pos)
+    erased = set(work.erased_positions())
+    if not erased:
+        return work
+    if not code.can_recover(erased):
+        raise UnrecoverableFaultError(
+            f"{code.name}: {len(erased)} erased/latent cells "
+            f"({sorted(erased)}) exceed the code's capability"
+        )
+    try:
+        code.decode(work)
+    except UnrecoverableFailureError as exc:
+        raise UnrecoverableFaultError(str(exc)) from exc
+    stats.escalations += 1
+    stats.reads += code.rows * code.cols - len(erased)
+    return work

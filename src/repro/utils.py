@@ -8,7 +8,30 @@ here implement that notation directly so code reads like the paper.
 
 from __future__ import annotations
 
+from typing import Union
+
+import numpy as np
+
 from .exceptions import InvalidParameterError, NotPrimeError
+
+#: Anything the stochastic helpers accept as a randomness source: a
+#: seed (or None for OS entropy) or an explicit, already-constructed
+#: generator that a caller threads through several helpers so one seed
+#: reproduces an entire scenario (workload + fault plan).
+RandomState = Union[int, None, np.random.Generator]
+
+
+def resolve_rng(state: RandomState) -> np.random.Generator:
+    """Materialize a generator from a seed or pass one through.
+
+    Every stochastic path in the package funnels its ``seed`` argument
+    through this helper, so callers can hand the *same* generator
+    instance to multiple generators (workloads, fault plans, scenario
+    drivers) and get one reproducible stream.
+    """
+    if isinstance(state, np.random.Generator):
+        return state
+    return np.random.default_rng(state)
 
 #: Primes commonly used in the paper's evaluation section.
 EVALUATION_PRIMES = (5, 7, 11, 13, 17, 19, 23)

@@ -10,9 +10,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from ..exceptions import WorkloadError
+from ..utils import RandomState, resolve_rng
 
 
 @dataclass(frozen=True)
@@ -37,13 +36,13 @@ def uniform_read_patterns(
     length: int,
     volume_elements: int,
     num_patterns: int = 100,
-    seed: int | None = 0,
+    seed: RandomState = 0,
 ) -> tuple[ReadPattern, ...]:
     """The paper's degraded-read workload for one ``L``."""
     if length > volume_elements:
         raise WorkloadError(
             f"pattern length {length} exceeds volume of {volume_elements}"
         )
-    rng = np.random.default_rng(seed)
+    rng = resolve_rng(seed)
     starts = rng.integers(0, volume_elements - length + 1, size=num_patterns)
     return tuple(ReadPattern(int(s), length) for s in starts)

@@ -21,6 +21,7 @@ from typing import Literal
 import numpy as np
 
 from ..exceptions import WorkloadError
+from ..utils import RandomState, resolve_rng
 from .degraded import ReadPattern
 from .traces import WritePattern, WriteTrace
 
@@ -60,7 +61,7 @@ def zipf_write_trace(
     num_patterns: int = 1000,
     length: int = 10,
     skew: float = 1.2,
-    seed: int | None = 0,
+    seed: RandomState = 0,
 ) -> WriteTrace:
     """Writes whose *stripe* popularity follows a Zipf law.
 
@@ -74,7 +75,7 @@ def zipf_write_trace(
     num_stripes = volume_elements // stripe_elements
     if num_stripes < 1:
         raise WorkloadError("volume smaller than one stripe")
-    rng = np.random.default_rng(seed)
+    rng = resolve_rng(seed)
     ranks = np.arange(1, num_stripes + 1, dtype=float)
     weights = ranks**-skew
     weights /= weights.sum()
@@ -103,12 +104,12 @@ def mixed_trace(
     num_ops: int = 1000,
     write_fraction: float = 0.3,
     max_length: int = 16,
-    seed: int | None = 0,
+    seed: RandomState = 0,
 ) -> tuple[MixedOp, ...]:
     """An interleaved uniform read/write stream."""
     if not 0.0 <= write_fraction <= 1.0:
         raise WorkloadError("write_fraction must be in [0, 1]")
-    rng = np.random.default_rng(seed)
+    rng = resolve_rng(seed)
     ops = []
     for _ in range(num_ops):
         length = int(rng.integers(1, max_length + 1))

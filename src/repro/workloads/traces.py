@@ -24,6 +24,7 @@ from typing import Iterator
 import numpy as np
 
 from ..exceptions import WorkloadError
+from ..utils import RandomState, resolve_rng
 
 #: The paper's Table II random write trace, verbatim ``(S, L, F)`` with
 #: 1-based starts: "(28,34,66) means the write operation will start
@@ -99,18 +100,19 @@ def uniform_write_trace(
     length: int,
     volume_elements: int,
     num_patterns: int = 1000,
-    seed: int | None = 0,
+    seed: RandomState = 0,
 ) -> WriteTrace:
     """The paper's ``uniform_w_L`` trace.
 
     ``num_patterns`` writes of ``length`` continuous elements, starts
-    uniform over ``[0, volume_elements - length]``.
+    uniform over ``[0, volume_elements - length]``.  ``seed`` may be an
+    explicit :class:`numpy.random.Generator` threaded by the caller.
     """
     if length > volume_elements:
         raise WorkloadError(
             f"pattern length {length} exceeds volume of {volume_elements}"
         )
-    rng = np.random.default_rng(seed)
+    rng = resolve_rng(seed)
     starts = rng.integers(0, volume_elements - length + 1, size=num_patterns)
     return WriteTrace(
         name=f"uniform_w_{length}",
@@ -134,14 +136,14 @@ def random_write_trace(
     num_patterns: int = 25,
     max_length: int = 45,
     max_frequency: int = 100,
-    seed: int | None = 0,
+    seed: RandomState = 0,
 ) -> WriteTrace:
     """A fresh ``(S, L, F)`` trace in the style of Table II.
 
     The paper drew its trace from random.org; we use a seeded PRNG so
     runs are reproducible offline.
     """
-    rng = np.random.default_rng(seed)
+    rng = resolve_rng(seed)
     patterns = []
     for _ in range(num_patterns):
         length = int(rng.integers(1, max_length + 1))

@@ -7,10 +7,14 @@ from repro import HCode, HVCode, RDPCode
 from repro.analysis.reliability import (
     MarkovChainModel,
     ReliabilityParameters,
+    SectorErrorParameters,
+    calibrate_sector_model,
     double_disk_rebuild_hours,
     mttdl_comparison,
     mttdl_for_code,
+    mttdl_with_sector_errors,
     raid6_mttdl_hours,
+    raid6_mttdl_hours_with_sector_errors,
     single_disk_rebuild_hours,
 )
 from repro.codes.registry import evaluated_codes
@@ -109,3 +113,75 @@ class TestCodeMttdl:
             "mttdl_hours",
         }
         assert row["mttdl_hours"] > 0
+
+
+class TestSectorErrorModel:
+    def test_zero_ber_zero_probability(self):
+        sector = SectorErrorParameters(unrecoverable_bit_error_rate=0.0)
+        assert sector.ure_probability(1e9) == 0.0
+
+    def test_probability_monotone_in_volume(self):
+        sector = SectorErrorParameters()
+        small = sector.ure_probability(1e3)
+        large = sector.ure_probability(1e6)
+        assert 0.0 < small < large < 1.0
+
+    def test_matches_naive_formula(self):
+        # The log1p/expm1 evaluation agrees with the naive power form
+        # to the latter's (much worse) float precision.
+        sector = SectorErrorParameters(
+            unrecoverable_bit_error_rate=1e-9, bits_per_element=1e6
+        )
+        n = 100.0
+        naive = 1.0 - (1.0 - 1e-9) ** (n * 1e6)
+        assert sector.ure_probability(n) == pytest.approx(naive, rel=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            SectorErrorParameters(unrecoverable_bit_error_rate=1.5)
+        with pytest.raises(InvalidParameterError):
+            SectorErrorParameters(bits_per_element=0)
+        with pytest.raises(InvalidParameterError):
+            SectorErrorParameters().ure_probability(-1)
+
+    def test_no_ure_reduces_to_baseline(self):
+        base = raid6_mttdl_hours(12, 1e-6, 1.0, 0.5)
+        extended = raid6_mttdl_hours_with_sector_errors(
+            12, 1e-6, 1.0, 0.5, p_ure_double=0.0
+        )
+        assert extended == pytest.approx(base)
+
+    def test_ure_probability_lowers_mttdl(self):
+        base = raid6_mttdl_hours_with_sector_errors(12, 1e-6, 1.0, 0.5, 0.0)
+        hit = raid6_mttdl_hours_with_sector_errors(12, 1e-6, 1.0, 0.5, 0.01)
+        assert hit < base
+
+    def test_p_ure_validated(self):
+        with pytest.raises(InvalidParameterError):
+            raid6_mttdl_hours_with_sector_errors(12, 1e-6, 1.0, 0.5, 1.5)
+
+    def test_code_level_fields_and_penalty(self):
+        row = mttdl_with_sector_errors(HVCode(7))
+        assert 0.0 < row["p_ure_double_rebuild"] < 1.0
+        assert row["mttdl_hours"] < row["mttdl_hours_no_sector_errors"]
+        assert row["mttdl_penalty"] > 1.0
+
+    def test_measured_fraction_overrides_analytic(self):
+        clean = mttdl_with_sector_errors(
+            HVCode(7), measured_double_failure_fraction=0.0
+        )
+        assert clean["p_ure_double_rebuild"] == 0.0
+        assert clean["mttdl_hours"] == pytest.approx(
+            clean["mttdl_hours_no_sector_errors"]
+        )
+
+    def test_calibration_from_scenario_dicts(self):
+        results = [
+            {"survived": True},
+            {"survived": False},
+            {"survived": True},
+            {"survived": True},
+        ]
+        assert calibrate_sector_model(results) == pytest.approx(0.25)
+        with pytest.raises(InvalidParameterError):
+            calibrate_sector_model([])

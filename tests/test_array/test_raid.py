@@ -99,10 +99,23 @@ class TestDiskManagement:
         hv_volume.heal_disk(1)
         assert hv_volume.failed_disks() == []
 
-    def test_second_failure_rejected(self, hv_volume):
+    def test_second_failure_permitted(self, hv_volume):
+        # RAID-6's design point: two concurrent failures are legal.
         hv_volume.fail_disk(1)
+        hv_volume.fail_disk(2)
+        assert hv_volume.failed_disks() == [1, 2]
+
+    def test_third_failure_rejected(self, hv_volume):
+        hv_volume.fail_disk(1)
+        hv_volume.fail_disk(2)
         with pytest.raises(SimulationError):
-            hv_volume.fail_disk(2)
+            hv_volume.fail_disk(3)
+
+    def test_writes_rejected_with_two_failures(self, hv_volume):
+        hv_volume.fail_disk(1)
+        hv_volume.fail_disk(2)
+        with pytest.raises(SimulationError):
+            hv_volume.write(0, 3)
 
     def test_fail_out_of_range(self, hv_volume):
         with pytest.raises(InvalidParameterError):

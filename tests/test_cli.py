@@ -46,3 +46,40 @@ class TestMain:
     def test_p_override(self, capsys):
         assert main(["table3", "--p", "5"]) == 0
         assert "p=5" in capsys.readouterr().out
+
+
+class TestFaultsCommand:
+    def test_parser_registered(self):
+        args = build_parser().parse_args(["faults", "--seed", "9"])
+        assert args.command == "faults"
+        assert args.seed == 9
+        assert args.scenarios == 5
+
+    def test_single_code_text(self, capsys):
+        assert main(
+            ["faults", "--code", "HV", "--p", "5", "--scenarios", "1",
+             "--stripes", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "fault scenarios" in out
+        assert "HV" in out
+        assert "1/1" in out
+
+    def test_json_format(self, capsys):
+        import json
+
+        assert main(
+            ["faults", "--code", "HV", "--p", "5", "--scenarios", "1",
+             "--stripes", "2", "--format", "json"]
+        ) == 0
+        table = json.loads(capsys.readouterr().out)
+        assert table["HV"]["survival_rate"] == 1.0
+
+    def test_output_file(self, capsys, tmp_path):
+        target = tmp_path / "faults.txt"
+        assert main(
+            ["faults", "--code", "HV", "--p", "5", "--scenarios", "1",
+             "--stripes", "2", "--output", str(target)]
+        ) == 0
+        assert "wrote fault-scenario results" in capsys.readouterr().out
+        assert "HV" in target.read_text()

@@ -45,6 +45,11 @@ class TestExamples:
         assert "scrub found 0 inconsistent stripes" in out
         assert "final content matches expectation: True" in out
 
+    def test_fault_injection_demo(self):
+        out = run_example("fault_injection_demo.py")
+        assert "scenario against HV: survived" in out
+        assert "same seed reproduces the identical report: True" in out
+
     def test_code_explorer(self):
         out = run_example("code_explorer.py", "5")
         for name in ("HV", "RDP", "X-Code", "Liberation", "Cauchy-RS"):

@@ -1,0 +1,118 @@
+"""Tests for the self-healing escalation ladder."""
+
+import pytest
+
+from repro import HVCode, RDPCode
+from repro.exceptions import UnrecoverableFaultError
+from repro.faults import HealingStats, decode_resilient, recover_element
+
+
+def encoded_stripe(code, element_size=16, seed=5):
+    stripe = code.random_stripe(element_size=element_size, seed=seed)
+    code.encode(stripe)
+    return stripe
+
+
+class TestRecoverElement:
+    def test_rung1_direct_read(self):
+        code = HVCode(5)
+        stripe = encoded_stripe(code)
+        stats = HealingStats()
+        buf = recover_element(code, stripe, (0, 0), stats)
+        assert bytes(buf) == bytes(stripe.get((0, 0)))
+        assert stats.reads == 1
+        assert stats.chain_repairs == 0
+
+    def test_rung1_returns_a_copy(self):
+        code = HVCode(5)
+        stripe = encoded_stripe(code)
+        buf = recover_element(code, stripe, (0, 0))
+        buf[0] ^= 0xFF
+        assert stripe.get((0, 0))[0] != buf[0]
+
+    def test_rung2_chain_repair(self):
+        code = HVCode(5)
+        stripe = encoded_stripe(code)
+        original = bytes(stripe.get((1, 1)))
+        stripe.erase((1, 1))
+        stats = HealingStats()
+        buf = recover_element(code, stripe, (1, 1), stats)
+        assert bytes(buf) == original
+        assert stats.chain_repairs == 1
+        assert stats.escalations == 0
+        # The stripe itself is untouched: callers persist repairs.
+        assert not stripe.readable((1, 1))
+
+    def test_rung2_latent_cell(self):
+        code = RDPCode(5)
+        stripe = encoded_stripe(code)
+        original = bytes(stripe.get((0, 2)))
+        stripe.mark_latent((0, 2))
+        stats = HealingStats()
+        assert bytes(recover_element(code, stripe, (0, 2), stats)) == original
+        assert stats.chain_repairs == 1
+
+    def test_rung3_escalates_when_chains_poisoned(self):
+        code = HVCode(5)
+        stripe = encoded_stripe(code)
+        pos = (0, 0)
+        original = bytes(stripe.get(pos))
+        stripe.erase(pos)
+        # Poison every chain through pos with one latent member.
+        chains = list(code.chains_through[pos])
+        if pos in code.chain_at:
+            chains.append(code.chain_at[pos])
+        for chain in chains:
+            victim = next(c for c in chain.equation_cells if c != pos)
+            if stripe.readable(victim):
+                stripe.mark_latent(victim)
+        stats = HealingStats()
+        buf = recover_element(code, stripe, pos, stats)
+        assert bytes(buf) == original
+        assert stats.escalations == 1
+
+
+class TestDecodeResilient:
+    def test_no_faults_is_a_copy(self):
+        code = HVCode(5)
+        stripe = encoded_stripe(code)
+        work = decode_resilient(code, stripe)
+        assert work == stripe
+        assert work is not stripe
+
+    def test_one_disk_plus_one_sector(self):
+        # The paper's rebuild-window hazard: a whole column down AND a
+        # URE on a survivor must decode.
+        code = HVCode(5)
+        stripe = encoded_stripe(code)
+        pristine = stripe.copy()
+        stripe.erase_disks([0])
+        stripe.mark_latent((1, 2))
+        stats = HealingStats()
+        work = decode_resilient(code, stripe, stats)
+        assert work == pristine
+        assert stats.escalations == 1
+        assert stats.reads > 0
+
+    def test_two_disks_down_decodes(self):
+        code = HVCode(5)
+        stripe = encoded_stripe(code)
+        pristine = stripe.copy()
+        stripe.erase_disks([1, 3])
+        assert decode_resilient(code, stripe) == pristine
+
+    def test_beyond_capability_raises(self):
+        code = HVCode(5)
+        stripe = encoded_stripe(code)
+        stripe.erase_disks([0, 1])
+        stripe.mark_latent((0, 3))
+        with pytest.raises(UnrecoverableFaultError):
+            decode_resilient(code, stripe)
+
+    def test_stats_merge(self):
+        a, b = HealingStats(), HealingStats()
+        a.reads, b.reads = 3, 4
+        b.escalations = 1
+        a.merge(b)
+        assert a.reads == 7
+        assert a.escalations == 1

@@ -1,0 +1,146 @@
+"""Tests for the fault-tolerant rebuild orchestrator."""
+
+import pytest
+
+from repro import HVCode
+from repro.array.filestore import FileStore
+from repro.exceptions import (
+    ChecksumMismatchError,
+    InvalidParameterError,
+    UnrecoverableFaultError,
+)
+from repro.faults import RebuildOrchestrator
+
+
+def make_store(p=5, element_size=16, stripes=6):
+    store = FileStore(HVCode(p), element_size=element_size)
+    payload = bytes(
+        (i * 13 + 1) % 256 for i in range(stripes * store.bytes_per_stripe)
+    )
+    store.write(0, payload)
+    return store, payload
+
+
+class TestRebuild:
+    def test_full_rebuild_byte_identical(self):
+        store, payload = make_store()
+        store.fail_disk(2)
+        report = RebuildOrchestrator(store).rebuild(2)
+        assert report.completed
+        assert store.failed_disks == set()
+        assert store.read(0, len(payload)) == payload
+        assert store.scrub() == []
+
+    def test_report_accounting(self):
+        store, _ = make_store(stripes=4)
+        store.fail_disk(0)
+        report = RebuildOrchestrator(store).rebuild(0)
+        assert report.disk == 0
+        assert report.stripes_total == 4
+        assert report.stripes_done == 4
+        assert report.elements_repaired == 4 * store.code.rows
+        assert report.chain_reads > 0
+        assert report.seconds > 0
+        assert report.total_reads == (
+            report.chain_reads + report.escalation_reads
+        )
+
+    def test_checkpoints_recorded(self):
+        store, _ = make_store(stripes=6)
+        store.fail_disk(1)
+        report = RebuildOrchestrator(store, checkpoint_every=2).rebuild(1)
+        assert report.checkpoints == [2, 4, 6]
+
+    def test_rebuild_with_latent_survivor(self):
+        # One disk down plus a URE on a survivor: the rebuild plans
+        # around the bad sector and heals it too.
+        store, payload = make_store()
+        store.fail_disk(3)
+        store.stripes[0].mark_latent((0, 1))
+        report = RebuildOrchestrator(store).rebuild(3)
+        assert report.completed
+        assert report.latent_hits >= 1
+        assert not store.stripes[0].is_latent((0, 1))
+        assert store.read(0, len(payload)) == payload
+        assert store.scrub() == []
+
+    def test_rebuild_one_of_two_failures(self):
+        store, payload = make_store()
+        store.fail_disk(0)
+        store.fail_disk(2)
+        report = RebuildOrchestrator(store).rebuild(0)
+        assert report.completed
+        assert report.escalations == len(store.stripes)
+        assert store.failed_disks == {2}
+        assert store.read(0, len(payload)) == payload
+
+    def test_same_failure_same_report(self):
+        reports = []
+        for _ in range(2):
+            store, _ = make_store()
+            store.fail_disk(2)
+            reports.append(RebuildOrchestrator(store).rebuild(2).to_dict())
+        assert reports[0] == reports[1]
+
+    def test_rejects_healthy_disk(self):
+        store, _ = make_store()
+        with pytest.raises(InvalidParameterError):
+            RebuildOrchestrator(store).rebuild(0)
+
+    def test_rejects_bad_checkpoint_interval(self):
+        store, _ = make_store()
+        with pytest.raises(InvalidParameterError):
+            RebuildOrchestrator(store, checkpoint_every=0)
+
+
+class TestResume:
+    def test_interrupted_rebuild_resumes_from_checkpoint(self):
+        store, payload = make_store(stripes=6)
+        store.fail_disk(0)
+        store.fail_disk(2)
+        # Stripe 3 also carries a URE on a third column: unrecoverable
+        # until the operator clears it.
+        store.stripes[3].mark_latent((0, 3))
+        orchestrator = RebuildOrchestrator(store)
+        with pytest.raises(UnrecoverableFaultError):
+            orchestrator.rebuild(0)
+        assert orchestrator.checkpoint == 3
+        # The latent sector gets re-read successfully (cleared).
+        store.stripes[3].clear_latent((0, 3))
+        report = orchestrator.resume(0)
+        assert report.completed
+        assert report.stripes_done == 6
+        assert store.read(0, len(payload)) == payload
+
+    def test_resume_without_interruption_rejected(self):
+        store, _ = make_store()
+        store.fail_disk(0)
+        with pytest.raises(InvalidParameterError):
+            RebuildOrchestrator(store).resume(0)
+
+    def test_resume_wrong_disk_rejected(self):
+        store, _ = make_store()
+        store.fail_disk(0)
+        store.fail_disk(2)
+        store.stripes[0].mark_latent((0, 3))
+        orchestrator = RebuildOrchestrator(store)
+        with pytest.raises(UnrecoverableFaultError):
+            orchestrator.rebuild(0)
+        with pytest.raises(InvalidParameterError):
+            orchestrator.resume(2)
+
+
+class TestChecksumGuard:
+    def test_poisoned_sidecar_fails_loudly(self):
+        store, _ = make_store()
+        store.fail_disk(1)
+        store.sidecar.record(0, (0, 1), b"not the real content")
+        with pytest.raises(ChecksumMismatchError):
+            RebuildOrchestrator(store).rebuild(1)
+
+    def test_filestore_rebuild_shares_the_guard(self):
+        store, _ = make_store()
+        store.fail_disk(1)
+        store.sidecar.record(0, (0, 1), b"not the real content")
+        with pytest.raises(ChecksumMismatchError):
+            store.rebuild(1)

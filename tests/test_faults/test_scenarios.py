@@ -1,0 +1,76 @@
+"""Tests for the Monte-Carlo scenario runner (the acceptance gate)."""
+
+import pytest
+
+from repro.codes.registry import EVALUATED_CODE_NAMES, get_code
+from repro.faults import run_scenario, compare_codes
+from repro.faults.scenarios import PHASES
+
+
+class TestRunScenario:
+    @pytest.mark.parametrize("name", EVALUATED_CODE_NAMES)
+    def test_crash_plus_ure_survived_by_every_code(self, name):
+        # The acceptance scenario: 1 whole-disk crash + 1 URE on a
+        # survivor (plus a silent flip and a transient window), and the
+        # store must come back byte-identical.
+        result = run_scenario(get_code(name, 5), seed=7)
+        assert result.survived, result.failure
+        assert result.degraded_read_ok
+        assert result.final_read_ok
+        assert result.parity_clean
+        assert result.failed_phase is None
+        assert all(rb["completed"] for rb in result.rebuilds)
+
+    def test_same_seed_identical_report(self):
+        a = run_scenario(get_code("HV", 5), seed=3).to_dict()
+        b = run_scenario(get_code("HV", 5), seed=3).to_dict()
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        dicts = {
+            str(run_scenario(get_code("HV", 5), seed=s).to_dict())
+            for s in range(4)
+        }
+        assert len(dicts) > 1
+
+    def test_no_faults_trivially_survives(self):
+        result = run_scenario(
+            get_code("HV", 5), seed=0,
+            crashes=0, latent=0, flips=0, transients=0,
+        )
+        assert result.survived
+        assert result.rebuilds == []
+        assert result.scrub["flips_detected"] == []
+
+    def test_plan_and_injection_recorded(self):
+        result = run_scenario(get_code("HV", 5), seed=1)
+        assert result.plan["seed"] == 1
+        assert len(result.plan["events"]) == 4
+        assert result.injection["pending"] == 0
+
+    def test_phases_constant(self):
+        assert PHASES == (
+            "inject", "scrub", "degraded-read", "rebuild", "verify"
+        )
+
+
+class TestCompareCodes:
+    def test_aggregates_across_registry(self):
+        table = compare_codes(range(2), p=5, stripes=2)
+        assert set(table) == set(EVALUATED_CODE_NAMES)
+        for row in table.values():
+            assert row["scenarios"] == 2
+            assert row["survived"] == 2
+            assert row["survival_rate"] == 1.0
+            assert row["mean_rebuild_seconds"] > 0
+            assert row["mean_repair_reads"] > 0
+            assert len(row["results"]) == 2
+
+    def test_subset_of_codes(self):
+        table = compare_codes([0], p=5, code_names=("HV",), stripes=2)
+        assert list(table) == ["HV"]
+
+    def test_deterministic(self):
+        a = compare_codes([1], p=5, code_names=("HV",), stripes=2)
+        b = compare_codes([1], p=5, code_names=("HV",), stripes=2)
+        assert a == b
