@@ -19,8 +19,8 @@ def _codes():
 
 
 @pytest.mark.parametrize("code", _codes(), ids=lambda c: c.name)
-def test_encode_throughput(benchmark, code):
-    stripe = code.random_stripe(element_size=ELEMENT_SIZE, seed=1)
+def test_encode_throughput(benchmark, code, bench_rng):
+    stripe = code.random_stripe(element_size=ELEMENT_SIZE, seed=bench_rng)
 
     def encode():
         code.encode(stripe)
@@ -31,8 +31,8 @@ def test_encode_throughput(benchmark, code):
 
 
 @pytest.mark.parametrize("code", _codes(), ids=lambda c: c.name)
-def test_double_failure_decode(benchmark, code):
-    stripe = code.random_stripe(element_size=ELEMENT_SIZE, seed=2)
+def test_double_failure_decode(benchmark, code, bench_rng):
+    stripe = code.random_stripe(element_size=ELEMENT_SIZE, seed=bench_rng)
 
     def decode():
         broken = stripe.copy()
@@ -44,9 +44,9 @@ def test_double_failure_decode(benchmark, code):
     assert result == stripe
 
 
-def test_rs_encode_throughput(benchmark):
+def test_rs_encode_throughput(benchmark, bench_rng):
     rs = get_code_rs()
-    stripe = rs.random_stripe(element_size=ELEMENT_SIZE, seed=3)
+    stripe = rs.random_stripe(element_size=ELEMENT_SIZE, seed=bench_rng)
     benchmark(lambda: rs.encode(stripe))
     assert rs.verify(stripe)
 

@@ -5,6 +5,43 @@ figures inside a ``pytest-benchmark`` measurement and then asserts the
 paper's qualitative shape on the measured output, so ``pytest
 benchmarks/ --benchmark-only`` both times the harness and re-validates
 the reproduction.
+
+Randomness is threaded the same way as everywhere else in the package:
+one ``--bench-seed`` option resolves through
+:func:`repro.utils.resolve_rng` into the ``bench_rng`` fixture, and
+``bench_seed`` exposes the raw value for APIs that take a seed
+argument.  The default (0) keeps runs reproducible; pass a different
+seed to re-randomize every stochastic benchmark input at once.
 """
 
+import pytest
+
+from repro.utils import resolve_rng
+
 collect_ignore_glob: list[str] = []
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--bench-seed",
+        type=int,
+        default=0,
+        help="seed for every stochastic benchmark input (default 0)",
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_seed(request: pytest.FixtureRequest) -> int:
+    """The suite-wide seed, as passed on the command line."""
+    return request.config.getoption("--bench-seed")
+
+
+@pytest.fixture()
+def bench_rng(bench_seed: int):
+    """A fresh, deterministically seeded generator per benchmark.
+
+    Function-scoped on purpose: every benchmark starts from the same
+    stream for a given ``--bench-seed``, so measurements stay
+    comparable across runs and across test selections.
+    """
+    return resolve_rng(bench_seed)

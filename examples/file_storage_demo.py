@@ -13,6 +13,7 @@ import numpy as np
 
 from repro import HVCode
 from repro.array.filestore import FileStore
+from repro.utils import resolve_rng
 
 
 def digest(data: bytes) -> str:
@@ -21,7 +22,7 @@ def digest(data: bytes) -> str:
 
 def main() -> None:
     store = FileStore(HVCode(p=7), element_size=1024)
-    rng = np.random.default_rng(99)
+    rng = resolve_rng(99)
     payload = bytes(rng.integers(0, 256, 200_000, dtype=np.uint8))
 
     store.write(0, payload)

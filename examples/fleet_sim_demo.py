@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Fleet-scale reliability simulation: rebuilds, UREs, spares, MTTDL.
+
+Runs a seeded fleet of RAID-6 arrays per code through years of
+simulated operation — disk failures, latent sector errors, periodic
+scrubs — with rebuild durations derived from each code's *measured*
+per-stripe recovery I/O, then checks the simulated loss rate against
+the closed-form Markov MTTDL model and shows what the closed form
+cannot price: latent-error losses and non-exponential lifetimes.
+
+Run:  python examples/fleet_sim_demo.py
+"""
+
+import math
+from dataclasses import replace
+
+from repro.sim import (
+    ExponentialLifetime,
+    SimConfig,
+    WeibullLifetime,
+    compare_codes,
+    simulate_fleet,
+)
+
+
+def main() -> None:
+    # Deliberately brutal parameters — disks lasting ~800 h against
+    # rebuild windows stretched by high-capacity disks — so a small,
+    # fast fleet still observes real data-loss events.
+    config = SimConfig(
+        code_name="HV",
+        p=5,
+        fleet_size=30,
+        horizon_hours=5_000.0,
+        seed=7,
+        lifetime=ExponentialLifetime(mttf_hours=800.0),
+        disk_capacity_elements=300 * 1024 // 16 * 150,
+        latent_error_rate_per_hour=1e-4,
+        scrub_interval_hours=168.0,
+    )
+
+    report = simulate_fleet(config)
+    counts = report.counts
+    print(f"{config.fleet_size} HV arrays x {config.horizon_hours:g} h:")
+    print(f"  disk failures     : {counts['disk_failures']}")
+    print(f"  rebuilds          : {counts['repairs_single']} single, "
+          f"{counts['repairs_double']} double "
+          f"({counts['repair_escalations']} escalated mid-rebuild)")
+    print(f"  latent errors     : {counts['latent_arrivals']} arrived, "
+          f"{counts['latent_cleared']} scrubbed away")
+    print(f"  data-loss events  : {report.data_losses}")
+    print(f"  availability      : {report.availability:.6f}")
+
+    again = simulate_fleet(config)
+    print("same seed reproduces the identical report:",
+          again.report_hash == report.report_hash)
+
+    # Cross-validation proper: exponential lifetimes, no latent-error
+    # channel — exactly the process the Markov chain models, fed the
+    # same measured rebuild durations.
+    clean = replace(
+        config,
+        fleet_size=40,
+        horizon_hours=8_000.0,
+        lifetime=ExponentialLifetime(mttf_hours=1000.0),
+        disk_capacity_elements=300 * 1024 // 16 * 100,
+        latent_error_rate_per_hour=0.0,
+        scrub_interval_hours=None,
+    )
+    print("\nall five evaluated codes vs the Markov model "
+          "(identical seeded fleets, no UREs):")
+    print(f"  {'code':<8} {'disks':>5} {'losses':>7} {'sim MTTDL h':>12} "
+          f"{'Markov h':>9} {'agree':>6}")
+    for name, rep in compare_codes(clean).items():
+        mttdl = rep.mttdl_hours_simulated
+        sim_col = f"{mttdl:.0f}" if mttdl is not None else "-"
+        print(f"  {name:<8} {rep.num_disks:>5} {rep.data_losses:>7} "
+              f"{sim_col:>12} "
+              f"{rep.cross_validation['mttdl_hours']:>9.0f} "
+              f"{'yes' if rep.agrees_with_markov else 'NO':>6}")
+
+    # What the closed form misses, part 1: latent sector errors turn
+    # double-degraded windows fatal (the URE channel).
+    with_ures = simulate_fleet(replace(clean, latent_error_rate_per_hour=1e-3,
+                                       scrub_interval_hours=168.0))
+    base = simulate_fleet(clean)
+    print(f"\nswitching UREs on (1e-3/disk-h, weekly scrubs): "
+          f"{base.data_losses} -> {with_ures.data_losses} losses")
+
+    # Part 2: non-exponential lifetimes.  Infant mortality (Weibull
+    # shape < 1) concentrates failures early in each disk's life,
+    # piling up overlapping rebuilds at equal mean lifetime.
+    scale = 1000.0 / math.gamma(1.0 + 1.0 / 0.7)
+    weibull = simulate_fleet(
+        replace(clean, lifetime=WeibullLifetime(scale_hours=scale, shape=0.7))
+    )
+    print(f"infant-mortality lifetimes (Weibull k=0.7, equal mean): "
+          f"{base.data_losses} -> {weibull.data_losses} losses")
+
+
+if __name__ == "__main__":
+    main()

@@ -14,6 +14,9 @@ The package is organized as:
   recovery planners.
 - :mod:`repro.faults` — seeded fault injection, checksum scrubbing,
   self-healing recovery, and orchestrated hot-spare rebuilds.
+- :mod:`repro.sim` — a discrete-event fleet-scale reliability and
+  rebuild simulator (imported on demand; not pulled in by
+  ``import repro``).
 - :mod:`repro.experiments` — one module per paper figure/table.
 
 Quickstart::
@@ -36,6 +39,7 @@ from .exceptions import (
     UnrecoverableFailureError,
     UnrecoverableFaultError,
     SimulationError,
+    InvalidSimConfigError,
     WorkloadError,
     FaultInjectionError,
     TransientIOError,
@@ -66,6 +70,7 @@ __all__ = [
     "UnrecoverableFailureError",
     "UnrecoverableFaultError",
     "SimulationError",
+    "InvalidSimConfigError",
     "WorkloadError",
     "FaultInjectionError",
     "TransientIOError",

@@ -9,13 +9,21 @@
 from .reliability import (
     MarkovChainModel,
     ReliabilityParameters,
+    SectorErrorParameters,
+    calibrate_sector_model,
     mttdl_for_code,
     mttdl_comparison,
+    mttdl_with_sector_errors,
+    raid6_mttdl_hours,
 )
 
 __all__ = [
     "MarkovChainModel",
     "ReliabilityParameters",
+    "SectorErrorParameters",
+    "calibrate_sector_model",
     "mttdl_for_code",
     "mttdl_comparison",
+    "mttdl_with_sector_errors",
+    "raid6_mttdl_hours",
 ]

@@ -14,6 +14,7 @@ from collections.abc import Iterable
 import numpy as np
 
 from ..exceptions import InvalidParameterError, LatentSectorError, SimulationError
+from ..utils import RandomState, resolve_rng
 
 #: A cell coordinate: ``(row, col)``, 0-based.
 Position = tuple[int, int]
@@ -174,9 +175,13 @@ class Stripe:
         dup.latent = self.latent.copy()
         return dup
 
-    def fill_random(self, positions: Iterable[Position], seed: int | None = None) -> None:
-        """Fill the given cells with deterministic pseudo-random bytes."""
-        rng = np.random.default_rng(seed)
+    def fill_random(self, positions: Iterable[Position], seed: "RandomState" = None) -> None:
+        """Fill the given cells with deterministic pseudo-random bytes.
+
+        ``seed`` is anything :func:`repro.utils.resolve_rng` accepts —
+        an int, ``None``, or an already-threaded generator.
+        """
+        rng = resolve_rng(seed)
         for pos in positions:
             r, c = self._check(pos)
             self.data[r, c] = rng.integers(0, 256, self.element_size, dtype=np.uint8)

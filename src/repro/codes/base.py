@@ -30,7 +30,7 @@ from ..exceptions import (
     LayoutError,
     UnrecoverableFailureError,
 )
-from ..utils import require_prime
+from ..utils import RandomState, require_prime
 from ..xor.equations import ParityCheckSystem
 
 #: A cell coordinate ``(row, col)``, 0-based.
@@ -363,8 +363,12 @@ class ArrayCode(ABC):
         """An all-zero stripe with this code's dimensions."""
         return Stripe(self.rows, self.cols, element_size)
 
-    def random_stripe(self, element_size: int = 16, seed: int | None = None) -> Stripe:
-        """A stripe with random data elements and valid parity."""
+    def random_stripe(self, element_size: int = 16, seed: "RandomState" = None) -> Stripe:
+        """A stripe with random data elements and valid parity.
+
+        ``seed`` accepts an int, ``None``, or a threaded generator
+        (:func:`repro.utils.resolve_rng` semantics).
+        """
         stripe = self.make_stripe(element_size)
         stripe.fill_random(self.data_positions, seed=seed)
         self.encode(stripe)

@@ -24,6 +24,7 @@ import numpy as np
 from ..array.stripe import Stripe
 from ..exceptions import InvalidParameterError, UnrecoverableFailureError
 from ..gf.gf256 import gf256
+from ..utils import RandomState
 
 
 class ReedSolomonRAID6:
@@ -66,7 +67,7 @@ class ReedSolomonRAID6:
     def make_stripe(self, element_size: int = 16) -> Stripe:
         return Stripe(1, self.cols, element_size)
 
-    def random_stripe(self, element_size: int = 16, seed: int | None = None) -> Stripe:
+    def random_stripe(self, element_size: int = 16, seed: "RandomState" = None) -> Stripe:
         stripe = self.make_stripe(element_size)
         stripe.fill_random([(0, d) for d in range(self.k)], seed=seed)
         self.encode(stripe)

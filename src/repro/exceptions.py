@@ -105,11 +105,23 @@ class ChecksumMismatchError(FaultInjectionError):
 
 
 class SimulationError(ReproError):
-    """The disk-array simulator was driven into an illegal state.
+    """A simulator was driven into an illegal state.
 
-    Examples: issuing I/O to a failed disk without degraded mode,
-    addressing past the end of the simulated volume, or replaying a
-    trace whose patterns exceed the volume size.
+    Raised by the disk-array simulator (issuing I/O to a failed disk
+    without degraded mode, addressing past the end of the simulated
+    volume, replaying a trace whose patterns exceed the volume size)
+    and by the fleet simulator (:mod:`repro.sim`) when its event loop
+    reaches an inconsistent state — popping an empty queue, completing
+    a repair on a healthy array, scheduling an event in the past.
+    """
+
+
+class InvalidSimConfigError(SimulationError, ValueError):
+    """A :class:`repro.sim.SimConfig` field is out of its legal domain.
+
+    Typical causes: a non-positive fleet size or horizon, an unknown
+    lifetime-model kind, a negative latent-error rate, or a scrub
+    interval that is not positive.
     """
 
 

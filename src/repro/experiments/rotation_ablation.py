@@ -18,13 +18,12 @@ from __future__ import annotations
 
 import math
 
-import numpy as np
-
 from ..array.raid import RAID6Volume
 from ..codes.base import ArrayCode
 from ..codes.registry import get_code
 from ..metrics.balance import load_balancing_rate
 from ..metrics.io_count import writes_per_disk
+from ..utils import RandomState, resolve_rng
 from ..workloads.traces import WritePattern, WriteTrace
 from .runner import ExperimentResult
 
@@ -40,10 +39,10 @@ def skewed_trace(
     length: int = 10,
     num_patterns: int = 500,
     hot_fraction: float = 0.9,
-    seed: int = 0,
+    seed: RandomState = 0,
 ) -> WriteTrace:
     """A trace where ``hot_fraction`` of patterns hit one hot range."""
-    rng = np.random.default_rng(seed)
+    rng = resolve_rng(seed)
     patterns = []
     for _ in range(num_patterns):
         if rng.random() < hot_fraction:
@@ -55,9 +54,9 @@ def skewed_trace(
 
 
 def uniform_trace(
-    volume_elements: int, length: int = 10, num_patterns: int = 500, seed: int = 1
+    volume_elements: int, length: int = 10, num_patterns: int = 500, seed: RandomState = 1
 ) -> WriteTrace:
-    rng = np.random.default_rng(seed)
+    rng = resolve_rng(seed)
     starts = rng.integers(0, volume_elements - length, size=num_patterns)
     return WriteTrace(
         name="uniform", patterns=tuple(WritePattern(int(s), length) for s in starts)

@@ -28,7 +28,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from ..exceptions import DecodeError, InvalidParameterError
-from ..utils import mean
+from ..utils import mean, resolve_rng
 
 if TYPE_CHECKING:  # imported lazily to avoid a codes<->recovery cycle
     from ..codes.base import ArrayCode, ParityChain
@@ -295,7 +295,7 @@ def _solve_greedy(
     orders: list[list[Position]] = []
     for k in range(min(len(cells), GREEDY_RESTARTS // 2) or 1):
         orders.append(cells[k:] + cells[:k])
-    rng = np.random.default_rng(1729)
+    rng = resolve_rng(1729)
     while len(orders) < GREEDY_RESTARTS:
         shuffled = list(cells)
         rng.shuffle(shuffled)

@@ -1,0 +1,101 @@
+"""The simulator's event vocabulary and its deterministic queue.
+
+A discrete-event simulation is only as reproducible as its event
+ordering.  :class:`EventQueue` is a thin heapq wrapper that breaks
+time ties by an insertion sequence number, so two events scheduled at
+the same simulated hour always pop in the order they were pushed —
+``heapq`` alone would compare the events themselves, and equal-time
+ties would then depend on incidental field values.
+
+Events carry a ``generation`` stamp: handlers that reschedule work
+(repair-bandwidth contention re-plans every in-flight rebuild whenever
+the number of active rebuilds changes) bump the target's generation
+counter and simply drop stale events when they surface, the classic
+lazy-invalidation pattern of event-driven simulators (cf. CR-SIM's
+failure/recovery event streams).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from enum import Enum
+
+from ..exceptions import SimulationError
+
+
+class EventKind(str, Enum):
+    """Everything that can happen to the simulated fleet."""
+
+    DISK_FAILURE = "disk-failure"
+    REPAIR_COMPLETE = "repair-complete"
+    LATENT_ERROR = "latent-error"
+    SCRUB = "scrub"
+    SPARE_REPLENISH = "spare-replenish"
+    END = "end"
+
+
+@dataclass(frozen=True, order=True)
+class Event:
+    """One scheduled occurrence, ordered by ``(time, seq)``.
+
+    ``seq`` is assigned by the queue at push time; comparing on it
+    (and never on the payload fields, which sort=False excludes)
+    makes the pop order a pure function of the push history.
+    """
+
+    time: float
+    seq: int
+    kind: EventKind = field(compare=False)
+    array: int = field(default=-1, compare=False)
+    disk: int = field(default=-1, compare=False)
+    generation: int = field(default=0, compare=False)
+
+
+class EventQueue:
+    """A deterministic min-heap of :class:`Event`\\ s keyed on time."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def push(
+        self,
+        time: float,
+        kind: EventKind,
+        array: int = -1,
+        disk: int = -1,
+        generation: int = 0,
+    ) -> Event:
+        """Schedule an event; returns the stamped instance."""
+        if time < 0 or time != time:  # negative or NaN
+            raise SimulationError(f"cannot schedule an event at t={time}")
+        event = Event(
+            time=time,
+            seq=self._seq,
+            kind=kind,
+            array=array,
+            disk=disk,
+            generation=generation,
+        )
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event."""
+        if not self._heap:
+            raise SimulationError("pop from an empty event queue")
+        return heapq.heappop(self._heap)
+
+    def peek_time(self) -> float:
+        """Timestamp of the next event without removing it."""
+        if not self._heap:
+            raise SimulationError("peek into an empty event queue")
+        return self._heap[0].time

@@ -1,0 +1,206 @@
+"""Structured, hashable results of a fleet simulation.
+
+A :class:`SimReport` is plain data: everything the simulator measured,
+the matching closed-form Markov prediction, and the agreement check
+between the two.  ``to_json()`` is canonical (sorted keys, fixed
+separators), so equal configs hash to equal ``report_hash`` values —
+the property the determinism tests and the CI smoke step pin.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
+
+from ..analysis.reliability import raid6_mttdl_hours
+from ..codes.registry import EVALUATED_CODE_NAMES
+from .config import SimConfig
+from .stats import (
+    fixed_histogram,
+    poisson_rate_interval,
+    summarize,
+    wilson_interval,
+)
+
+if TYPE_CHECKING:
+    from ..codes.base import ArrayCode
+    from .fleet import CodeRepairProfile
+
+
+@dataclass(frozen=True)
+class SimReport:
+    """Everything one fleet run measured, JSON-ready.
+
+    ``data_loss_events`` lists each loss with its simulated hour,
+    array, and cause; ``cross_validation`` compares the simulated loss
+    fraction against the Markov chain fed the *same* repair durations
+    the simulator used, with the Wilson interval as the yardstick.
+    """
+
+    config: dict
+    profile: dict
+    num_disks: int
+    array_hours: float
+    degraded_hours: float
+    availability: float
+    counts: dict
+    data_loss_events: list = field(default_factory=list)
+    data_losses: int = 0
+    arrays_with_loss: int = 0
+    loss_fraction: float = 0.0
+    loss_fraction_wilson: tuple[float, float] = (0.0, 1.0)
+    mttdl_hours_simulated: float | None = None
+    mttdl_hours_ci: tuple[float | None, float | None] = (None, None)
+    rebuild_hours: dict = field(default_factory=dict)
+    spare_wait_hours: dict = field(default_factory=dict)
+    cross_validation: dict = field(default_factory=dict)
+
+    @property
+    def agrees_with_markov(self) -> bool:
+        """True when the Markov prediction sits inside the Wilson CI."""
+        return bool(self.cross_validation.get("agrees", False))
+
+    def to_dict(self) -> dict:
+        return {
+            "config": self.config,
+            "profile": self.profile,
+            "num_disks": self.num_disks,
+            "array_hours": self.array_hours,
+            "degraded_hours": self.degraded_hours,
+            "availability": self.availability,
+            "counts": self.counts,
+            "data_loss_events": self.data_loss_events,
+            "data_losses": self.data_losses,
+            "arrays_with_loss": self.arrays_with_loss,
+            "loss_fraction": self.loss_fraction,
+            "loss_fraction_wilson": list(self.loss_fraction_wilson),
+            "mttdl_hours_simulated": self.mttdl_hours_simulated,
+            "mttdl_hours_ci": list(self.mttdl_hours_ci),
+            "rebuild_hours": self.rebuild_hours,
+            "spare_wait_hours": self.spare_wait_hours,
+            "cross_validation": self.cross_validation,
+        }
+
+    def to_json(self, indent: int | None = None) -> str:
+        """Canonical JSON: sorted keys, fixed separators, no NaN/inf."""
+        separators = (",", ": ") if indent else (",", ":")
+        return json.dumps(
+            self.to_dict(),
+            sort_keys=True,
+            indent=indent,
+            separators=separators,
+            allow_nan=False,
+        )
+
+    @property
+    def report_hash(self) -> str:
+        """SHA-256 of the canonical JSON — the determinism fingerprint."""
+        return hashlib.sha256(self.to_json().encode()).hexdigest()
+
+
+def markov_prediction(
+    code: "ArrayCode", config: SimConfig, profile: "CodeRepairProfile"
+) -> dict:
+    """The closed-form expectation for this exact configuration.
+
+    The chain is fed the *same* mean lifetime and the *same* measured
+    rebuild durations the simulator runs with, so any disagreement is
+    about dynamics (distributional shape, contention, spares), never
+    about inputs.
+    """
+    mttdl = raid6_mttdl_hours(
+        code.cols,
+        1.0 / config.lifetime.mean_hours,
+        1.0 / profile.single_rebuild_hours,
+        1.0 / profile.double_rebuild_hours,
+    )
+    return {
+        "mttdl_hours": mttdl,
+        "loss_probability_in_horizon": -math.expm1(-config.horizon_hours / mttdl),
+    }
+
+
+def build_report(
+    config: SimConfig,
+    profile: "CodeRepairProfile",
+    code: "ArrayCode",
+    losses: list[dict],
+    arrays_with_loss: int,
+    counts: dict,
+    rebuild_hours: dict[str, list[float]],
+    spare_wait_hours: list[float],
+    degraded_hours: float,
+) -> SimReport:
+    """Assemble the report from the simulator's raw tallies."""
+    array_hours = config.fleet_size * config.horizon_hours
+    n_losses = len(losses)
+    wilson = wilson_interval(arrays_with_loss, config.fleet_size)
+    if n_losses:
+        rate_lo, rate_hi = poisson_rate_interval(n_losses, array_hours)
+        mttdl_simulated: float | None = array_hours / n_losses
+        mttdl_ci: tuple[float | None, float | None] = (
+            1.0 / rate_hi,
+            (1.0 / rate_lo) if rate_lo > 0 else None,
+        )
+    else:
+        _, rate_hi = poisson_rate_interval(0, array_hours)
+        mttdl_simulated = None
+        mttdl_ci = (1.0 / rate_hi, None)
+
+    markov = markov_prediction(code, config, profile)
+    predicted_p = markov["loss_probability_in_horizon"]
+    cross_validation = {
+        **markov,
+        "simulated_loss_fraction": arrays_with_loss / config.fleet_size,
+        "wilson_low": wilson[0],
+        "wilson_high": wilson[1],
+        "agrees": wilson[0] <= predicted_p <= wilson[1],
+    }
+
+    return SimReport(
+        config=config.to_dict(),
+        profile=profile.to_dict(),
+        num_disks=code.cols,
+        array_hours=array_hours,
+        degraded_hours=degraded_hours,
+        availability=1.0 - degraded_hours / array_hours,
+        counts=counts,
+        data_loss_events=losses,
+        data_losses=n_losses,
+        arrays_with_loss=arrays_with_loss,
+        loss_fraction=arrays_with_loss / config.fleet_size,
+        loss_fraction_wilson=wilson,
+        mttdl_hours_simulated=mttdl_simulated,
+        mttdl_hours_ci=mttdl_ci,
+        rebuild_hours={
+            kind: {
+                "summary": summarize(durations),
+                "histogram": fixed_histogram(durations),
+            }
+            for kind, durations in sorted(rebuild_hours.items())
+        },
+        spare_wait_hours=summarize(spare_wait_hours),
+        cross_validation=cross_validation,
+    )
+
+
+def compare_codes(
+    config: SimConfig, code_names: tuple[str, ...] = EVALUATED_CODE_NAMES
+) -> dict[str, SimReport]:
+    """Run the same seeded fleet for every named code.
+
+    Each code sees the identical configuration and seed, so the
+    lifetime/latent event streams differ only where the codes
+    themselves differ (disk counts and measured repair durations) —
+    the fleet-scale analogue of
+    :func:`repro.faults.scenarios.compare_codes`.
+    """
+    from .fleet import simulate_fleet  # local: report<->fleet cycle
+
+    reports: dict[str, SimReport] = {}
+    for name in code_names:
+        reports[name] = simulate_fleet(replace(config, code_name=name))
+    return reports

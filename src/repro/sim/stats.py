@@ -1,0 +1,101 @@
+"""Small statistics helpers for simulation reports.
+
+Monte-Carlo durability estimates live or die on honest intervals: a
+fleet run that observes zero losses must still report a bounded
+P(data loss), which is exactly what the Wilson score interval is for
+(a plain normal interval collapses to [0, 0] there and overstates
+certainty everywhere near the boundary).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+from ..exceptions import InvalidParameterError
+
+
+def wilson_interval(
+    successes: int, trials: int, z: float = 1.96
+) -> tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Well-behaved at 0 and ``trials`` successes, which matters for
+    durability runs where data loss is (deliberately) rare.
+    """
+    if trials <= 0:
+        raise InvalidParameterError("Wilson interval needs at least one trial")
+    if not 0 <= successes <= trials:
+        raise InvalidParameterError(
+            f"successes ({successes}) must be within 0..{trials}"
+        )
+    if z <= 0:
+        raise InvalidParameterError("z must be positive")
+    phat = successes / trials
+    z2 = z * z
+    denom = 1.0 + z2 / trials
+    center = (phat + z2 / (2 * trials)) / denom
+    half = (
+        z
+        * math.sqrt(phat * (1.0 - phat) / trials + z2 / (4.0 * trials * trials))
+        / denom
+    )
+    return (max(0.0, center - half), min(1.0, center + half))
+
+
+def poisson_rate_interval(
+    events: int, exposure: float, z: float = 1.96
+) -> tuple[float, float]:
+    """Confidence interval for a Poisson rate (events per unit exposure).
+
+    Uses the square-root (variance-stabilizing) transform, which keeps
+    the lower bound at zero when no events were observed instead of
+    going negative like the plain normal interval.
+    """
+    if exposure <= 0:
+        raise InvalidParameterError("exposure must be positive")
+    if events < 0:
+        raise InvalidParameterError("event count must be >= 0")
+    sqrt_n = math.sqrt(events)
+    lo = max(0.0, sqrt_n - z / 2.0) ** 2 / exposure
+    hi = (sqrt_n + z / 2.0) ** 2 / exposure
+    return (lo, hi)
+
+
+def fixed_histogram(
+    values: Sequence[float], num_bins: int = 10
+) -> dict[str, list[float]]:
+    """A deterministic histogram: fixed bin count, data-driven range.
+
+    Bin edges derive only from min/max/num_bins, so equal inputs give
+    byte-identical renderings.  Returns ``{"edges": [...], "counts":
+    [...]}``; empty input yields empty lists.
+    """
+    if num_bins <= 0:
+        raise InvalidParameterError("num_bins must be positive")
+    vals = sorted(float(v) for v in values)
+    if not vals:
+        return {"edges": [], "counts": []}
+    lo, hi = vals[0], vals[-1]
+    if hi == lo:
+        return {"edges": [lo, hi], "counts": [float(len(vals))]}
+    width = (hi - lo) / num_bins
+    edges = [lo + i * width for i in range(num_bins + 1)]
+    counts = [0.0] * num_bins
+    for v in vals:
+        idx = min(int((v - lo) / width), num_bins - 1)
+        counts[idx] += 1.0
+    return {"edges": edges, "counts": counts}
+
+
+def summarize(values: Sequence[float]) -> dict[str, float]:
+    """Mean/min/max/count of a sequence (zeros when empty)."""
+    vals = [float(v) for v in values]
+    if not vals:
+        return {"count": 0.0, "mean": 0.0, "min": 0.0, "max": 0.0}
+    return {
+        "count": float(len(vals)),
+        "mean": sum(vals) / len(vals),
+        "min": min(vals),
+        "max": max(vals),
+    }

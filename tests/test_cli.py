@@ -48,6 +48,101 @@ class TestMain:
         assert "p=5" in capsys.readouterr().out
 
 
+class TestReliabilityCommand:
+    def test_parser_registered(self):
+        args = build_parser().parse_args(["reliability", "--p", "7"])
+        assert args.command == "reliability"
+        assert args.p == 7
+        assert not args.sector
+
+    def test_table(self, capsys):
+        assert main(["reliability", "--p", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "MTTDL from measured recovery behaviour" in out
+        for name in ("HV", "RDP", "X-Code"):
+            assert name in out
+
+    def test_sector_extension_adds_columns(self, capsys):
+        assert main(["reliability", "--p", "5", "--sector"]) == 0
+        out = capsys.readouterr().out
+        assert "P(URE)" in out
+        assert "penalty" in out
+
+    def test_json(self, capsys):
+        import json
+
+        assert main(["reliability", "--p", "5", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["p"] == 5
+        assert payload["codes"]["HV"]["mttdl_hours"] > 0
+
+    def test_output_file(self, capsys, tmp_path):
+        target = tmp_path / "reliability.txt"
+        assert main(
+            ["reliability", "--p", "5", "--output", str(target)]
+        ) == 0
+        assert "wrote reliability table" in capsys.readouterr().out
+        assert "HV" in target.read_text()
+
+
+SIM_QUICK = [
+    "sim", "--code", "HV", "--p", "5", "--fleet", "5",
+    "--horizon", "2000", "--mttf", "600", "--seed", "1",
+]
+
+
+class TestSimCommand:
+    def test_parser_registered(self):
+        args = build_parser().parse_args(["sim", "--smoke"])
+        assert args.command == "sim"
+        assert args.smoke
+        assert args.lifetime == "exponential"
+
+    def test_single_code_table(self, capsys):
+        assert main(SIM_QUICK) == 0
+        out = capsys.readouterr().out
+        assert "fleet simulation" in out
+        assert "HV" in out
+        assert "report hash HV:" in out
+
+    def test_json_payload(self, capsys):
+        import json
+
+        assert main(SIM_QUICK + ["--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        report = payload["reports"]["HV"]
+        assert report["config"]["seed"] == 1
+        sha = payload["hashes"]["HV"]
+        assert len(sha) == 64 and set(sha) <= set("0123456789abcdef")
+
+    def test_same_seed_same_hash(self, capsys):
+        assert main(SIM_QUICK) == 0
+        first = capsys.readouterr().out
+        assert main(SIM_QUICK) == 0
+        second = capsys.readouterr().out
+        line = next(l for l in first.splitlines() if l.startswith("report hash"))
+        assert line in second
+
+    def test_weibull_lifetime(self, capsys):
+        assert main(SIM_QUICK + ["--lifetime", "weibull", "--shape", "0.8"]) == 0
+        assert "weibull" in capsys.readouterr().out
+
+    def test_output_file_still_prints_hashes(self, capsys, tmp_path):
+        target = tmp_path / "sim.json"
+        assert main(SIM_QUICK + ["--json", "--output", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert "report hash HV:" in out
+        assert target.exists()
+
+    def test_invalid_config_is_a_clean_error(self):
+        import pytest as _pytest
+
+        from repro.exceptions import InvalidSimConfigError
+
+        with _pytest.raises(InvalidSimConfigError):
+            main(["sim", "--code", "HV", "--p", "4", "--fleet", "1"])
+
+
 class TestFaultsCommand:
     def test_parser_registered(self):
         args = build_parser().parse_args(["faults", "--seed", "9"])

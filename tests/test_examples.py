@@ -50,6 +50,13 @@ class TestExamples:
         assert "scenario against HV: survived" in out
         assert "same seed reproduces the identical report: True" in out
 
+    def test_fleet_sim_demo(self):
+        out = run_example("fleet_sim_demo.py")
+        assert "same seed reproduces the identical report: True" in out
+        assert "all five evaluated codes vs the Markov model" in out
+        assert "NO" not in out  # every code agrees with the closed form
+        assert "switching UREs on" in out
+
     def test_code_explorer(self):
         out = run_example("code_explorer.py", "5")
         for name in ("HV", "RDP", "X-Code", "Liberation", "Cauchy-RS"):

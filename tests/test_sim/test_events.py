@@ -1,0 +1,88 @@
+"""Event queue determinism: time order, tie-breaking, validation."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.sim import Event, EventKind, EventQueue
+
+
+class TestEventOrdering:
+    def test_pops_in_time_order(self):
+        q = EventQueue()
+        q.push(5.0, EventKind.DISK_FAILURE)
+        q.push(1.0, EventKind.SCRUB)
+        q.push(3.0, EventKind.LATENT_ERROR)
+        assert [q.pop().time for _ in range(3)] == [1.0, 3.0, 5.0]
+
+    def test_equal_times_pop_in_push_order(self):
+        q = EventQueue()
+        kinds = [
+            EventKind.REPAIR_COMPLETE,
+            EventKind.DISK_FAILURE,
+            EventKind.SCRUB,
+            EventKind.LATENT_ERROR,
+        ]
+        for kind in kinds:
+            q.push(7.0, kind)
+        assert [q.pop().kind for _ in range(4)] == kinds
+
+    def test_seq_is_monotonic_across_times(self):
+        q = EventQueue()
+        a = q.push(9.0, EventKind.END)
+        b = q.push(1.0, EventKind.END)
+        assert b.seq == a.seq + 1
+
+    def test_event_carries_payload(self):
+        q = EventQueue()
+        ev = q.push(2.0, EventKind.DISK_FAILURE, array=3, disk=5, generation=8)
+        assert (ev.array, ev.disk, ev.generation) == (3, 5, 8)
+
+    def test_payload_does_not_affect_ordering(self):
+        # Events with equal (time, seq) prefixes but wildly different
+        # payloads must still order purely by push sequence.
+        q = EventQueue()
+        q.push(4.0, EventKind.SPARE_REPLENISH, array=99, disk=99)
+        q.push(4.0, EventKind.DISK_FAILURE, array=0, disk=0)
+        assert q.pop().kind is EventKind.SPARE_REPLENISH
+
+
+class TestQueueProtocol:
+    def test_len_and_bool(self):
+        q = EventQueue()
+        assert len(q) == 0 and not q
+        q.push(1.0, EventKind.END)
+        assert len(q) == 1 and q
+
+    def test_peek_does_not_remove(self):
+        q = EventQueue()
+        q.push(2.5, EventKind.SCRUB)
+        assert q.peek_time() == 2.5
+        assert len(q) == 1
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SimulationError):
+            EventQueue().pop()
+
+    def test_peek_empty_raises(self):
+        with pytest.raises(SimulationError):
+            EventQueue().peek_time()
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(SimulationError):
+            EventQueue().push(-1.0, EventKind.END)
+
+    def test_nan_time_rejected(self):
+        with pytest.raises(SimulationError):
+            EventQueue().push(float("nan"), EventKind.END)
+
+    def test_event_is_frozen(self):
+        ev = EventQueue().push(1.0, EventKind.END)
+        with pytest.raises(Exception):
+            ev.time = 2.0  # type: ignore[misc]
+
+    def test_event_ordering_is_time_then_seq(self):
+        early = Event(time=1.0, seq=5, kind=EventKind.END)
+        late = Event(time=2.0, seq=0, kind=EventKind.END)
+        assert early < late
+        first = Event(time=1.0, seq=0, kind=EventKind.SCRUB)
+        assert first < early

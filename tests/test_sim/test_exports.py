@@ -1,0 +1,59 @@
+"""Package-surface contracts: exports and import weight."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import repro
+
+SRC = Path(repro.__file__).resolve().parents[1]
+
+
+class TestRootExports:
+    def test_exceptions_exported(self):
+        assert repro.SimulationError is not None
+        assert repro.InvalidSimConfigError is not None
+        assert "SimulationError" in repro.__all__
+        assert "InvalidSimConfigError" in repro.__all__
+
+    def test_sim_namespace_exports(self):
+        from repro import sim
+
+        for name in (
+            "SimConfig",
+            "Event",
+            "EventKind",
+            "EventQueue",
+            "DiskLifetimeModel",
+            "ExponentialLifetime",
+            "WeibullLifetime",
+            "FleetSimulator",
+            "simulate_fleet",
+            "SimReport",
+            "compare_codes",
+            "markov_prediction",
+            "wilson_interval",
+        ):
+            assert hasattr(sim, name), name
+            assert name in sim.__all__
+
+
+class TestImportWeight:
+    def test_root_import_pulls_no_heavy_optionals(self):
+        # `import repro` must stay lean: no simulator, no scipy, no
+        # experiment modules until someone asks for them.
+        probe = (
+            "import sys, repro; "
+            "assert repro.SimulationError and repro.InvalidSimConfigError; "
+            "heavy = [m for m in ('repro.sim', 'scipy', 'repro.experiments')"
+            " if m in sys.modules]; "
+            "assert not heavy, f'eagerly imported: {heavy}'"
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", probe],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": str(SRC), "PATH": ""},
+            timeout=120,
+        )
+        assert result.returncode == 0, result.stderr

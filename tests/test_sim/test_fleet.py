@@ -1,0 +1,202 @@
+"""Fleet-simulator mechanics: determinism, loss rules, spares, contention."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.sim import (
+    ExponentialLifetime,
+    FleetSimulator,
+    SimConfig,
+    WeibullLifetime,
+    compare_codes,
+    simulate_fleet,
+)
+from repro.sim.fleet import (
+    CAUSE_TRIPLE_FAILURE,
+    CAUSE_URE_DOUBLE,
+    CodeRepairProfile,
+)
+
+#: Small/fast but eventful: short disk lives against a modest horizon.
+BUSY = dict(
+    code_name="HV",
+    p=5,
+    fleet_size=25,
+    horizon_hours=4000.0,
+    lifetime=ExponentialLifetime(mttf_hours=700.0),
+    disk_capacity_elements=300 * 1024 // 16,
+    latent_error_rate_per_hour=2e-4,
+    scrub_interval_hours=168.0,
+)
+
+
+class TestDeterminism:
+    def test_same_config_same_bytes(self):
+        a = simulate_fleet(SimConfig(seed=3, **BUSY))
+        b = simulate_fleet(SimConfig(seed=3, **BUSY))
+        assert a.to_json() == b.to_json()
+        assert a.report_hash == b.report_hash
+
+    def test_different_seed_different_stream(self):
+        a = simulate_fleet(SimConfig(seed=3, **BUSY))
+        b = simulate_fleet(SimConfig(seed=4, **BUSY))
+        assert a.report_hash != b.report_hash
+
+    def test_weibull_and_constrained_runs_are_deterministic(self):
+        cfg = SimConfig(
+            code_name="RDP",
+            p=5,
+            fleet_size=10,
+            horizon_hours=3000.0,
+            seed=5,
+            lifetime=WeibullLifetime(scale_hours=900.0, shape=0.8),
+            spares=2,
+            repair_streams=1,
+            latent_error_rate_per_hour=1e-4,
+        )
+        assert simulate_fleet(cfg).report_hash == simulate_fleet(cfg).report_hash
+
+    def test_simulator_is_single_shot(self):
+        sim = FleetSimulator(SimConfig(seed=0, **BUSY))
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.run()
+
+
+class TestBookkeeping:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return simulate_fleet(SimConfig(seed=3, **BUSY))
+
+    def test_losses_are_consistent(self, report):
+        assert report.data_losses == len(report.data_loss_events)
+        assert 0 <= report.arrays_with_loss <= BUSY["fleet_size"]
+        assert report.arrays_with_loss <= report.data_losses
+        for event in report.data_loss_events:
+            assert event["cause"] in (CAUSE_TRIPLE_FAILURE, CAUSE_URE_DOUBLE)
+            assert 0.0 <= event["time_hours"] <= BUSY["horizon_hours"]
+
+    def test_wilson_brackets_loss_fraction(self, report):
+        lo, hi = report.loss_fraction_wilson
+        assert lo <= report.loss_fraction <= hi
+
+    def test_availability_complements_degraded_time(self, report):
+        assert report.availability == pytest.approx(
+            1.0 - report.degraded_hours / report.array_hours
+        )
+        assert 0.0 < report.availability <= 1.0
+
+    def test_repairs_happened_and_were_timed(self, report):
+        counts = report.counts
+        assert counts["disk_failures"] > 0
+        assert counts["repairs_single"] > 0
+        singles = report.rebuild_hours["single"]
+        assert singles["summary"]["count"] == counts["repairs_single"]
+        assert singles["summary"]["min"] > 0.0
+
+    def test_scrubbing_clears_latent_errors(self, report):
+        counts = report.counts
+        assert counts["scrubs"] > 0
+        assert counts["latent_arrivals"] > 0
+        assert counts["latent_cleared"] > 0
+        assert counts["scrub_repair_reads"] > 0
+
+    def test_mttdl_within_its_own_ci(self, report):
+        if report.mttdl_hours_simulated is None:
+            pytest.skip("no losses in this run")
+        lo, hi = report.mttdl_hours_ci
+        assert lo <= report.mttdl_hours_simulated
+        assert hi is None or report.mttdl_hours_simulated <= hi
+
+
+class TestQuietFleet:
+    def test_no_failures_no_losses(self):
+        report = simulate_fleet(
+            SimConfig(
+                p=5,
+                fleet_size=10,
+                horizon_hours=100.0,
+                seed=0,
+                lifetime=ExponentialLifetime(mttf_hours=1e12),
+                latent_error_rate_per_hour=0.0,
+            )
+        )
+        assert report.counts["disk_failures"] == 0
+        assert report.data_losses == 0
+        assert report.mttdl_hours_simulated is None
+        assert report.availability == 1.0
+        # Zero observed losses still yield a bounded MTTDL lower limit.
+        lo, hi = report.mttdl_hours_ci
+        assert lo > 0.0 and hi is None
+
+
+class TestSpares:
+    def test_empty_pool_blocks_all_repairs(self):
+        report = simulate_fleet(SimConfig(seed=3, spares=0, **BUSY))
+        assert report.counts["repairs_single"] == 0
+        assert report.counts["repairs_double"] == 0
+        assert report.counts["spares_consumed"] == 0
+        # Unrepaired arrays grind through failures into losses.
+        assert report.data_losses > 0
+
+    def test_tight_pool_records_waits(self):
+        cfg = SimConfig(seed=3, spares=1, spare_replenish_hours=48.0, **BUSY)
+        report = simulate_fleet(cfg)
+        assert report.counts["spares_consumed"] > 0
+        assert report.spare_wait_hours["count"] > 0
+        assert report.spare_wait_hours["max"] > 0.0
+
+    def test_unlimited_pool_never_waits(self):
+        report = simulate_fleet(SimConfig(seed=3, spares=None, **BUSY))
+        assert report.spare_wait_hours["count"] == 0
+
+
+class TestContention:
+    def test_shared_bandwidth_slows_rebuilds(self):
+        free = simulate_fleet(SimConfig(seed=3, repair_streams=None, **BUSY))
+        choked = simulate_fleet(SimConfig(seed=3, repair_streams=1, **BUSY))
+        assert (
+            choked.rebuild_hours["single"]["summary"]["mean"]
+            > free.rebuild_hours["single"]["summary"]["mean"]
+        )
+
+    def test_uncontended_single_rebuilds_match_profile(self):
+        # With unlimited streams, a single rebuild that never escalates
+        # takes exactly the profiled duration.
+        report = simulate_fleet(SimConfig(seed=3, repair_streams=None, **BUSY))
+        expected = report.profile["single_rebuild_hours"]
+        assert report.rebuild_hours["single"]["summary"]["min"] == (
+            pytest.approx(expected)
+        )
+
+
+class TestProfile:
+    def test_measured_profile_is_positive_and_code_specific(self):
+        hv = CodeRepairProfile.measure(SimConfig(code_name="HV", p=5))
+        rdp = CodeRepairProfile.measure(SimConfig(code_name="RDP", p=5))
+        for profile in (hv, rdp):
+            assert profile.reads_per_lost_element > 0
+            assert profile.single_rebuild_hours > 0
+            assert profile.double_rebuild_hours > profile.single_rebuild_hours
+        # The paper's hybrid recovery advantage: HV reads fewer elements
+        # per lost element than RDP's full-chain rebuild.
+        assert hv.reads_per_lost_element < rdp.reads_per_lost_element
+
+
+class TestCompareCodes:
+    def test_runs_every_evaluated_code(self):
+        cfg = SimConfig(
+            p=5,
+            fleet_size=4,
+            horizon_hours=1500.0,
+            seed=2,
+            lifetime=ExponentialLifetime(mttf_hours=800.0),
+        )
+        reports = compare_codes(cfg)
+        assert set(reports) == {"RDP", "HDP", "X-Code", "H-Code", "HV"}
+        for name, report in reports.items():
+            assert report.config["code_name"] == name
+            assert report.config["seed"] == 2
+        # Codes disagree on geometry: RDP spans p+1 disks, X-Code p.
+        assert reports["RDP"].num_disks == 6
+        assert reports["X-Code"].num_disks == 5

@@ -1,0 +1,92 @@
+"""Interval and histogram helpers behind the simulation report."""
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.sim import fixed_histogram, poisson_rate_interval, wilson_interval
+from repro.sim.stats import summarize
+
+
+class TestWilson:
+    def test_zero_successes_still_bounded_above_zero(self):
+        lo, hi = wilson_interval(0, 100)
+        assert lo == 0.0
+        assert 0.0 < hi < 0.06
+
+    def test_all_successes(self):
+        lo, hi = wilson_interval(50, 50)
+        assert hi == 1.0
+        assert 0.9 < lo < 1.0
+
+    def test_contains_point_estimate(self):
+        lo, hi = wilson_interval(7, 40)
+        assert lo < 7 / 40 < hi
+
+    def test_narrows_with_more_trials(self):
+        lo1, hi1 = wilson_interval(5, 50)
+        lo2, hi2 = wilson_interval(50, 500)
+        assert hi2 - lo2 < hi1 - lo1
+
+    @pytest.mark.parametrize("args", [(0, 0), (-1, 10), (11, 10)])
+    def test_rejects_bad_counts(self, args):
+        with pytest.raises(InvalidParameterError):
+            wilson_interval(*args)
+
+    def test_rejects_nonpositive_z(self):
+        with pytest.raises(InvalidParameterError):
+            wilson_interval(1, 10, z=0.0)
+
+
+class TestPoissonRate:
+    def test_zero_events_lower_bound_is_zero(self):
+        lo, hi = poisson_rate_interval(0, 1000.0)
+        assert lo == 0.0 and hi > 0.0
+
+    def test_contains_observed_rate(self):
+        lo, hi = poisson_rate_interval(9, 100.0)
+        assert lo < 9 / 100.0 < hi
+
+    def test_rejects_nonpositive_exposure(self):
+        with pytest.raises(InvalidParameterError):
+            poisson_rate_interval(1, 0.0)
+
+    def test_rejects_negative_events(self):
+        with pytest.raises(InvalidParameterError):
+            poisson_rate_interval(-1, 10.0)
+
+
+class TestFixedHistogram:
+    def test_empty_input(self):
+        assert fixed_histogram([]) == {"edges": [], "counts": []}
+
+    def test_constant_input_single_bin(self):
+        assert fixed_histogram([3.0, 3.0, 3.0]) == {
+            "edges": [3.0, 3.0],
+            "counts": [3.0],
+        }
+
+    def test_counts_sum_to_input_size(self):
+        values = [float(v) for v in range(37)]
+        hist = fixed_histogram(values, num_bins=5)
+        assert sum(hist["counts"]) == 37.0
+        assert len(hist["edges"]) == 6
+
+    def test_order_invariant(self):
+        values = [5.0, 1.0, 3.0, 2.0, 4.0]
+        assert fixed_histogram(values) == fixed_histogram(sorted(values))
+
+    def test_rejects_nonpositive_bins(self):
+        with pytest.raises(InvalidParameterError):
+            fixed_histogram([1.0], num_bins=0)
+
+
+class TestSummarize:
+    def test_empty(self):
+        assert summarize([]) == {
+            "count": 0.0, "mean": 0.0, "min": 0.0, "max": 0.0,
+        }
+
+    def test_values(self):
+        assert summarize([1.0, 2.0, 3.0]) == {
+            "count": 3.0, "mean": 2.0, "min": 1.0, "max": 3.0,
+        }
