@@ -45,6 +45,10 @@ from .exceptions import (
     TransientIOError,
     LatentSectorError,
     ChecksumMismatchError,
+    GFDomainError,
+    StaticAnalysisError,
+    CertificationError,
+    LintViolationError,
 )
 from .codes.base import ArrayCode, ElementKind, ParityChain, Position
 from .codes.registry import available_codes, get_code, evaluated_codes
@@ -76,6 +80,10 @@ __all__ = [
     "TransientIOError",
     "LatentSectorError",
     "ChecksumMismatchError",
+    "GFDomainError",
+    "StaticAnalysisError",
+    "CertificationError",
+    "LintViolationError",
     "ArrayCode",
     "ElementKind",
     "ParityChain",

@@ -392,6 +392,38 @@ class ArrayCode(ABC):
         """Capability oracle: is this erasure pattern decodable?"""
         return self.parity_check_system.can_recover(erased)
 
+    # -- structural metadata (the static certifier's inputs) -------------------------
+
+    def disk_cells(self, col: int) -> tuple[Position, ...]:
+        """Every cell on disk ``col``, top to bottom.
+
+        The erasure pattern of a whole-disk failure; the certifier
+        feeds unions of these to the rank oracle and to the structural
+        peeling scheduler.
+        """
+        if not 0 <= col < self.cols:
+            raise InvalidParameterError(f"disk {col} outside 0..{self.cols - 1}")
+        return tuple((r, col) for r in range(self.rows))
+
+    def chain_length_multiset(self) -> dict[ElementKind, tuple[int, ...]]:
+        """All chain lengths per parity flavor, sorted.
+
+        Unlike :meth:`chain_lengths` (which collapses a flavor to its
+        maximum), this keeps the full multiset so a claim like "every
+        HV chain has length ``p - 2``" is checkable exactly.
+        """
+        lengths: dict[ElementKind, list[int]] = {}
+        for chain in self.chains:
+            lengths.setdefault(chain.kind, []).append(chain.length)
+        return {kind: tuple(sorted(ls)) for kind, ls in lengths.items()}
+
+    def parity_load(self) -> tuple[int, ...]:
+        """Parity elements per disk — the static load-balance vector."""
+        counts = [0] * self.cols
+        for pos in self.parity_positions:
+            counts[pos[1]] += 1
+        return tuple(counts)
+
     # -- decoding ---------------------------------------------------------------
 
     def decode(

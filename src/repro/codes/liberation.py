@@ -23,7 +23,7 @@ erasure decodable; the exhaustive tests verify MDS for every
 from __future__ import annotations
 
 from ..exceptions import InvalidParameterError
-from ..utils import mod_div, require_prime
+from ..utils import mod_div
 from .base import ArrayCode, ElementKind, ParityChain
 
 

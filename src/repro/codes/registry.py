@@ -8,6 +8,8 @@ extension baselines (EVENODD, P-Code).
 
 from __future__ import annotations
 
+from ..core.hvcode import HVCode
+from ..exceptions import InvalidParameterError
 from .base import ArrayCode
 from .cauchy import CauchyRSCode
 from .evenodd import EvenOddCode
@@ -17,8 +19,6 @@ from .liberation import LiberationCode
 from .pcode import PCode
 from .rdp import RDPCode
 from .xcode import XCode
-from ..core.hvcode import HVCode
-from ..exceptions import InvalidParameterError
 
 #: name -> class for every XOR array code.  Every class is
 #: instantiable as ``cls(p)``; for Cauchy RS the parameter is the data

@@ -26,8 +26,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..codes.base import ParityChain, Position
 from ..array.stripe import Stripe
+from ..codes.base import ParityChain, Position
 from ..exceptions import InvalidParameterError, ReproError
 from ..utils import mod_div
 from .hvcode import HVCode

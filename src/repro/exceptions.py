@@ -127,3 +127,48 @@ class InvalidSimConfigError(SimulationError, ValueError):
 
 class WorkloadError(ReproError, ValueError):
     """A workload trace or access pattern is malformed."""
+
+
+class GFDomainError(ReproError, ZeroDivisionError):
+    """A Galois-field operation was applied outside its domain.
+
+    Raised for division by zero, the inverse of zero, a negative power
+    of zero, or the logarithm of zero in GF(2^w).  Subclasses
+    :class:`ZeroDivisionError` so callers treating field division like
+    ordinary division keep working.
+    """
+
+
+class StaticAnalysisError(ReproError):
+    """Base class for failures of the static-verification subsystem.
+
+    Raised by :mod:`repro.static` when a source tree cannot be linted
+    (unparseable file, unknown rule id) or a code layout cannot be
+    certified.
+    """
+
+
+class CertificationError(StaticAnalysisError):
+    """A code's static certificate contradicts a paper claim or a pin.
+
+    Raised when :func:`repro.static.certify_code` produces a
+    :class:`~repro.static.CodeCertificate` whose claims fail (a layout
+    regression broke MDS-ness, chain lengths, or parity balance) or
+    whose canonical hash no longer matches the pinned value recorded in
+    :mod:`repro.static.pins`.
+    """
+
+
+class LintViolationError(StaticAnalysisError):
+    """A lint run was asked to be fatal and found violations.
+
+    Carries the violation list so programmatic callers (CI gates, the
+    test suite) can render or filter them.
+    """
+
+    def __init__(self, violations: list, message: str | None = None) -> None:
+        count = len(violations)
+        super().__init__(
+            message or f"{count} lint violation(s); run `repro lint` for details"
+        )
+        self.violations = list(violations)

@@ -14,7 +14,6 @@ from collections.abc import Sequence
 
 from ..codes.base import ArrayCode
 from ..codes.registry import evaluated_codes
-from ..metrics.io_count import total_induced_writes
 from ..workloads.traces import uniform_write_trace
 from .fig6_partial_writes import measure_trace
 from .runner import ExperimentResult

@@ -9,7 +9,7 @@ log/antilog tables, as in every practical erasure-coding library
 
 from __future__ import annotations
 
-from ..exceptions import InvalidParameterError
+from ..exceptions import GFDomainError, InvalidParameterError
 
 #: Default primitive polynomials, indexed by word size w.  Encoded with
 #: the leading x^w term included, e.g. GF(2^8) uses x^8+x^4+x^3+x^2+1 =
@@ -90,7 +90,7 @@ class GF2w:
     def div(self, a: int, b: int) -> int:
         """Field division ``a / b``; raises on division by zero."""
         if b == 0:
-            raise ZeroDivisionError("division by zero in GF(2^w)")
+            raise GFDomainError("division by zero in GF(2^w)")
         if a == 0:
             return 0
         return self._exp[self._log[a] - self._log[b] + (self.size - 1)]
@@ -98,7 +98,7 @@ class GF2w:
     def inverse(self, a: int) -> int:
         """Multiplicative inverse of a non-zero element."""
         if a == 0:
-            raise ZeroDivisionError("0 has no inverse in GF(2^w)")
+            raise GFDomainError("0 has no inverse in GF(2^w)")
         return self._exp[(self.size - 1) - self._log[a]]
 
     def pow(self, a: int, n: int) -> int:
@@ -107,7 +107,7 @@ class GF2w:
             if n == 0:
                 return 1
             if n < 0:
-                raise ZeroDivisionError("0 to a negative power in GF(2^w)")
+                raise GFDomainError("0 to a negative power in GF(2^w)")
             return 0
         e = (self._log[a] * n) % (self.size - 1)
         return self._exp[e]
@@ -119,7 +119,7 @@ class GF2w:
     def log(self, a: int) -> int:
         """Discrete log base the generator ``x``; undefined for 0."""
         if a == 0:
-            raise ZeroDivisionError("log(0) undefined in GF(2^w)")
+            raise GFDomainError("log(0) undefined in GF(2^w)")
         return self._log[a]
 
     def elements(self):

@@ -9,8 +9,8 @@ clarity beats vectorization.
 
 from __future__ import annotations
 
-from .gfw import GF2w
 from ..exceptions import InvalidParameterError
+from .gfw import GF2w
 
 
 def gf_identity(n: int) -> list[list[int]]:

@@ -7,8 +7,8 @@ anyone extending the package with more algebraic codes.
 
 from __future__ import annotations
 
-from .gfw import GF2w
 from ..exceptions import InvalidParameterError
+from .gfw import GF2w
 
 
 class Polynomial:

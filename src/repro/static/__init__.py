@@ -1,0 +1,58 @@
+"""Static verification: code certificates and the repo linter.
+
+Two pillars, both usable as library calls, CLI subcommands
+(``repro certify`` / ``repro lint``), and CI gates:
+
+- :mod:`repro.static.certify` proves the paper's structural claims
+  (MDS-ness, chain lengths, parity balance, update complexity,
+  recovery parallelism) from the GF(2) parity-check view alone and
+  pins the resulting certificate hashes (:mod:`repro.static.pins`);
+- :mod:`repro.static.lint` enforces the repo's source-level contracts
+  (seeded randomness, no wall clocks in simulators, a closed exception
+  hierarchy, no mutable defaults, validated chain construction) via
+  the R001-R005 rule catalogue (:mod:`repro.static.rules`).
+"""
+
+from .certify import (
+    SCHEMA_VERSION,
+    SMOKE_PRIMES,
+    CodeCertificate,
+    DoubleFailureProfile,
+    MDSReport,
+    certify,
+    certify_code,
+    certify_registry,
+    smoke_certificates,
+)
+from .lint import (
+    LintReport,
+    allowed_exception_names,
+    default_lint_target,
+    lint_paths,
+    select_rules,
+)
+from .pins import PINNED_CERTIFICATE_HASHES, check_pins
+from .rules import ALL_RULES, RULES_BY_ID, LintRule, LintViolation
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "SMOKE_PRIMES",
+    "CodeCertificate",
+    "DoubleFailureProfile",
+    "MDSReport",
+    "certify",
+    "certify_code",
+    "certify_registry",
+    "smoke_certificates",
+    "LintReport",
+    "allowed_exception_names",
+    "default_lint_target",
+    "lint_paths",
+    "select_rules",
+    "PINNED_CERTIFICATE_HASHES",
+    "check_pins",
+    "ALL_RULES",
+    "RULES_BY_ID",
+    "LintRule",
+    "LintViolation",
+]

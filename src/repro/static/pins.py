@@ -1,0 +1,66 @@
+"""Pinned certificate hashes for the CI smoke set.
+
+Each entry is the SHA-256 of the canonical-JSON
+:class:`~repro.static.certify.CodeCertificate` for one ``(code, p)``
+pair of the smoke set (every registered code at the
+:data:`~repro.static.certify.SMOKE_PRIMES`).  The hashes are pure
+functions of the chain structure, so they are byte-identical across
+platforms and numpy versions; any change means a layout changed.
+
+If a change is *intentional* (a new code, a deliberate layout fix),
+regenerate with::
+
+    python -m repro.cli certify --smoke --json
+
+and update the table — the accompanying test and the CI gate both diff
+against it.
+"""
+
+from __future__ import annotations
+
+from ..exceptions import CertificationError
+
+#: ``"CODE@p" -> sha256`` for the smoke set.  Cauchy-RS keys carry the
+#: auto-chosen word size rather than the prime (its ``p`` is the data
+#: disk count).
+PINNED_CERTIFICATE_HASHES: dict[str, str] = {
+    "HV@5": "699848e5dd0f3c33519624755698f1df97c19db87f9db571ae12b7fe01b7ccd3",
+    "RDP@5": "cb3341b7988c0e9a9bc2fbc0596c906271bf4ae27f2ccef6cc6479abb8b11524",
+    "HDP@5": "e389255d6835230cc937ffc05ee1ad2d5e3acfcefc2d29de56b9a9fb9442cda3",
+    "X-Code@5": "06b519a3c3f9e52e43082c866894e20f50fc3787c8301a6719b419d86b0c33d6",
+    "H-Code@5": "8b4548c74650a38fa23c3e9bd502d6bd088e70544f0760203e2181652704a363",
+    "EVENODD@5": "783156d42e4b7a556123c54d41e660ee1e8c9da865eb59947855a54c12632d99",
+    "P-Code@5": "601a9be4042e17ece95ae15ec80fbff23240ffbb59d2a5d6badedfd742948398",
+    "Liberation@5": "c325e9033f8f047924f802e9b5697ae38ebad11da809cd16516a9acc79291147",
+    "Cauchy-RS@3": "bdc4dd6cd53c81ef655eb75b686947d4ff4d12d1450e366181b26cc3a536f7de",
+    "HV@7": "834f07be7caccd69b78facc74ff2c28755c4c1d81ef68b49b19032f8747e2c9b",
+    "RDP@7": "9cdd8fd32e632fe137cbb567f2e8ba67506d63474cfc7246748fdaded2eb7a83",
+    "HDP@7": "60155e7a9b24e0bf5b4d24e145ee4ed44fc401bcd35a078557ec631246cfa5f3",
+    "X-Code@7": "adb3b13fe4f6d260129e2ebe86aacff3ab760b93e1c956f1c38162ed735f122d",
+    "H-Code@7": "588b700d7ca53ba38fdaaa40d335fcb4cc9ce107eafe4d5f7cde049609c7574d",
+    "EVENODD@7": "38549de09321d98d6e1abf066454a1ca7076ab453f8bd31e596683bc612aa367",
+    "P-Code@7": "e144154231fe3bede0b62eb0346f78493400537b91e3dd14a604f0d6367f006a",
+    "Liberation@7": "a6dc3d54392acaa8474eea74ecc30fe7e4f54d49212510383ebeca30f1d8b27b",
+    "Cauchy-RS@4": "ca9fcd1835cd4f6f9ee9ca328dbc7a217209267900f81a2f34a0341e1c9aafb3",
+}
+
+
+def check_pins(certificates) -> None:
+    """Verify certificates against the pin table.
+
+    Raises :class:`~repro.exceptions.CertificationError` on the first
+    mismatch or on a certificate with no pin (so adding a code forces a
+    conscious re-pin).
+    """
+    for cert in certificates:
+        pinned = PINNED_CERTIFICATE_HASHES.get(cert.key)
+        if pinned is None:
+            raise CertificationError(
+                f"{cert.key}: no pinned certificate hash; add "
+                f"{cert.certificate_hash} to repro.static.pins"
+            )
+        if pinned != cert.certificate_hash:
+            raise CertificationError(
+                f"{cert.key}: certificate hash {cert.certificate_hash} does "
+                f"not match pinned {pinned} — the layout changed"
+            )

@@ -1,0 +1,394 @@
+"""The repo-specific lint rule catalogue (R001-R005).
+
+Each rule is an :class:`ast`-level check with a stable identifier,
+applied per file by :mod:`repro.static.lint`.  The rules encode
+contracts this codebase established in earlier PRs but never enforced
+at the source level:
+
+- **R001** — randomness must thread through
+  :func:`repro.utils.resolve_rng`: no unseeded ``random.Random()`` /
+  ``np.random.default_rng()``, and no calls against the *global* RNGs
+  (``random.random()``, ``np.random.rand()``, ...) anywhere.
+- **R002** — simulation code (``repro.sim``, ``repro.faults``) must
+  not read wall clocks; simulated time comes from the event queue.
+- **R003** — every raised exception type belongs to the exported
+  :mod:`repro.exceptions` hierarchy (``NotImplementedError`` is the
+  one idiomatic exception).
+- **R004** — no mutable default arguments.
+- **R005** — :class:`~repro.codes.base.ParityChain` is constructed
+  only inside ``_build_chains`` implementations, so every layout is
+  validated by the :attr:`~repro.codes.base.ArrayCode.chains` walk.
+
+A violating line can be waived with a trailing ``# noqa: RXXX``
+comment (or a bare ``# noqa`` to waive every rule on the line).
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, order=True)
+class LintViolation:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+@dataclass
+class FileContext:
+    """Everything a rule may consult about the file under analysis.
+
+    ``module`` is the dotted module path relative to the package root
+    (e.g. ``repro.sim.fleet``), empty when the file is outside any
+    package.  ``allowed_exceptions`` feeds R003 and is computed once
+    per lint run from ``repro/exceptions.py`` and the package
+    ``__init__``.
+    """
+
+    path: str
+    module: str
+    tree: ast.Module
+    lines: list[str]
+    allowed_exceptions: frozenset[str]
+    #: import alias -> canonical dotted name, e.g. ``np -> numpy`` or
+    #: ``default_rng -> numpy.random.default_rng``.
+    aliases: dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self.aliases[alias.asname or alias.name.split(".")[0]] = (
+                        alias.name if alias.asname else alias.name.split(".")[0]
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                for alias in node.names:
+                    if node.module:
+                        self.aliases[alias.asname or alias.name] = (
+                            f"{node.module}.{alias.name}"
+                        )
+
+    def resolve_call(self, node: ast.expr) -> str | None:
+        """Canonical dotted name of a called expression, if resolvable.
+
+        ``np.random.default_rng`` with ``import numpy as np`` resolves
+        to ``numpy.random.default_rng``; a bare name resolves through
+        ``from``-import aliases.
+        """
+        parts: list[str] = []
+        cur = node
+        while isinstance(cur, ast.Attribute):
+            parts.append(cur.attr)
+            cur = cur.value
+        if not isinstance(cur, ast.Name):
+            return None
+        root = self.aliases.get(cur.id, cur.id)
+        return ".".join([root, *reversed(parts)])
+
+
+class LintRule:
+    """Base class: subclasses set ``rule_id``/``summary`` and ``check``."""
+
+    rule_id = "R000"
+    summary = "abstract rule"
+
+    def check(self, ctx: FileContext) -> list[LintViolation]:  # pragma: no cover
+        raise NotImplementedError
+
+    def violation(
+        self, ctx: FileContext, node: ast.AST, message: str
+    ) -> LintViolation:
+        return LintViolation(
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=self.rule_id,
+            message=message,
+        )
+
+
+def _enclosing_functions(tree: ast.Module) -> dict[ast.AST, list[str]]:
+    """Map every node to the names of its enclosing function defs."""
+    stack: list[str] = []
+    owners: dict[ast.AST, list[str]] = {}
+
+    def visit(node: ast.AST) -> None:
+        is_fn = isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        if is_fn:
+            stack.append(node.name)
+        for child in ast.iter_child_nodes(node):
+            owners[child] = list(stack)
+            visit(child)
+        if is_fn:
+            stack.pop()
+
+    owners[tree] = []
+    visit(tree)
+    return owners
+
+
+def _is_none_or_missing_seed(call: ast.Call) -> bool:
+    """True when a RNG constructor call pins no seed."""
+    if not call.args and not call.keywords:
+        return True
+    if call.args:
+        first = call.args[0]
+        return isinstance(first, ast.Constant) and first.value is None
+    for kw in call.keywords:
+        if kw.arg in ("seed", "x", None):
+            return isinstance(kw.value, ast.Constant) and kw.value.value is None
+    return True
+
+
+class UnseededRandomRule(LintRule):
+    """R001: randomness must flow through ``repro.utils.resolve_rng``."""
+
+    rule_id = "R001"
+    summary = "unseeded or global-state RNG outside repro.utils.resolve_rng"
+
+    #: module-level functions that touch the global `random` state.
+    GLOBAL_RANDOM = frozenset(
+        {
+            "random", "seed", "randint", "randrange", "choice", "choices",
+            "shuffle", "sample", "uniform", "random_sample", "getrandbits",
+            "gauss", "normalvariate", "expovariate", "betavariate",
+        }
+    )
+    #: legacy numpy global-state entry points.
+    GLOBAL_NP_RANDOM = frozenset(
+        {
+            "rand", "randn", "randint", "random", "random_sample", "choice",
+            "shuffle", "permutation", "seed", "uniform", "normal",
+            "exponential", "standard_normal", "bytes",
+        }
+    )
+
+    def check(self, ctx: FileContext) -> list[LintViolation]:
+        owners = _enclosing_functions(ctx.tree)
+        out: list[LintViolation] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = ctx.resolve_call(node.func)
+            if name is None:
+                continue
+            inside_resolver = "resolve_rng" in owners.get(node, [])
+            if name == "numpy.random.default_rng":
+                if not inside_resolver:
+                    out.append(
+                        self.violation(
+                            ctx,
+                            node,
+                            "call repro.utils.resolve_rng(seed), not "
+                            "np.random.default_rng, so generators thread",
+                        )
+                    )
+            elif name == "random.Random":
+                if _is_none_or_missing_seed(node):
+                    out.append(
+                        self.violation(
+                            ctx, node, "random.Random() without an explicit seed"
+                        )
+                    )
+            elif name.startswith("random.") and name.split(".", 1)[1] in (
+                self.GLOBAL_RANDOM
+            ):
+                out.append(
+                    self.violation(
+                        ctx,
+                        node,
+                        f"{name}() uses the global RNG; draw from a threaded "
+                        "generator instead",
+                    )
+                )
+            elif name.startswith("numpy.random.") and name.split(".")[-1] in (
+                self.GLOBAL_NP_RANDOM
+            ):
+                out.append(
+                    self.violation(
+                        ctx,
+                        node,
+                        f"{name}() uses numpy's legacy global RNG; draw from "
+                        "a threaded Generator instead",
+                    )
+                )
+        return out
+
+
+class WallClockRule(LintRule):
+    """R002: simulation paths must not read wall clocks."""
+
+    rule_id = "R002"
+    summary = "wall-clock read inside simulation code (repro.sim / repro.faults)"
+
+    SCOPED_PREFIXES = ("repro.sim", "repro.faults")
+    BANNED = frozenset(
+        {
+            "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+            "time.perf_counter", "time.perf_counter_ns",
+            "datetime.datetime.now", "datetime.datetime.utcnow",
+            "datetime.datetime.today", "datetime.date.today",
+        }
+    )
+
+    def check(self, ctx: FileContext) -> list[LintViolation]:
+        scoped = any(
+            ctx.module == prefix or ctx.module.startswith(prefix + ".")
+            for prefix in self.SCOPED_PREFIXES
+        )
+        if not scoped:
+            return []
+        out: list[LintViolation] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = ctx.resolve_call(node.func)
+            if name in self.BANNED:
+                out.append(
+                    self.violation(
+                        ctx,
+                        node,
+                        f"{name}() in simulation code; simulated time must "
+                        "come from the event clock",
+                    )
+                )
+        return out
+
+
+class ExceptionHierarchyRule(LintRule):
+    """R003: raise only exported ``repro.exceptions`` types."""
+
+    rule_id = "R003"
+    summary = "raised exception type outside the exported repro.exceptions hierarchy"
+
+    #: idiomatic builtins that stay legal.
+    TOLERATED = frozenset({"NotImplementedError", "StopIteration"})
+
+    def check(self, ctx: FileContext) -> list[LintViolation]:
+        out: list[LintViolation] = []
+        builtin_exceptions = {
+            name
+            for name in dir(builtins)
+            if isinstance(getattr(builtins, name), type)
+            and issubclass(getattr(builtins, name), BaseException)
+        }
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            target = node.exc
+            if isinstance(target, ast.Call):
+                target = target.func
+            if not isinstance(target, ast.Name):
+                continue  # re-raise of a variable / attribute: out of scope
+            name = target.id
+            looks_like_class = (
+                name in builtin_exceptions
+                or name.endswith("Error")
+                or name.endswith("Exception")
+            )
+            if not looks_like_class:
+                continue  # a bound variable, e.g. `raise exc`
+            if name in self.TOLERATED or name in ctx.allowed_exceptions:
+                continue
+            out.append(
+                self.violation(
+                    ctx,
+                    node,
+                    f"raise of {name}; use (or add) an exported "
+                    "repro.exceptions type",
+                )
+            )
+        return out
+
+
+class MutableDefaultRule(LintRule):
+    """R004: no mutable default arguments."""
+
+    rule_id = "R004"
+    summary = "mutable default argument"
+
+    MUTABLE_CALLS = frozenset({"list", "dict", "set", "bytearray"})
+
+    def _is_mutable(self, node: ast.expr, ctx: FileContext) -> bool:
+        if isinstance(
+            node,
+            (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp),
+        ):
+            return True
+        if isinstance(node, ast.Call):
+            name = ctx.resolve_call(node.func)
+            return name in self.MUTABLE_CALLS
+        return False
+
+    def check(self, ctx: FileContext) -> list[LintViolation]:
+        out: list[LintViolation] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if self._is_mutable(default, ctx):
+                    out.append(
+                        self.violation(
+                            ctx,
+                            default,
+                            f"mutable default in {node.name}(); "
+                            "use None and construct inside",
+                        )
+                    )
+        return out
+
+
+class ChainConstructionRule(LintRule):
+    """R005: ``ParityChain(...)`` only inside ``_build_chains``."""
+
+    rule_id = "R005"
+    summary = "ParityChain constructed outside a _build_chains implementation"
+
+    def check(self, ctx: FileContext) -> list[LintViolation]:
+        owners = _enclosing_functions(ctx.tree)
+        out: list[LintViolation] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = func.id if isinstance(func, ast.Name) else (
+                func.attr if isinstance(func, ast.Attribute) else None
+            )
+            if name != "ParityChain":
+                continue
+            if "_build_chains" in owners.get(node, []):
+                continue
+            out.append(
+                self.violation(
+                    ctx,
+                    node,
+                    "construct ParityChain only inside _build_chains so the "
+                    "layout passes the chains validation walk",
+                )
+            )
+        return out
+
+
+#: The catalogue, in rule-id order.
+ALL_RULES: tuple[LintRule, ...] = (
+    UnseededRandomRule(),
+    WallClockRule(),
+    ExceptionHierarchyRule(),
+    MutableDefaultRule(),
+    ChainConstructionRule(),
+)
+
+RULES_BY_ID: dict[str, LintRule] = {rule.rule_id: rule for rule in ALL_RULES}

@@ -21,8 +21,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator
 
-import numpy as np
-
 from ..exceptions import WorkloadError
 from ..utils import RandomState, resolve_rng
 

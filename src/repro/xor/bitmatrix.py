@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..exceptions import DecodeError
+from ..exceptions import DecodeError, InvalidParameterError
 
 
 def gf2_row_reduce(matrix: np.ndarray, rhs: np.ndarray | None = None):
@@ -32,12 +32,12 @@ def gf2_row_reduce(matrix: np.ndarray, rhs: np.ndarray | None = None):
     """
     a = np.array(matrix, dtype=bool, copy=True)
     if a.ndim != 2:
-        raise ValueError("matrix must be 2-D")
+        raise InvalidParameterError("matrix must be 2-D")
     b = None
     if rhs is not None:
         b = np.array(rhs, copy=True)
         if b.shape[0] != a.shape[0]:
-            raise ValueError("rhs must have one row per matrix row")
+            raise InvalidParameterError("rhs must have one row per matrix row")
     n_rows, n_cols = a.shape
     pivot_cols: list[int] = []
     row = 0

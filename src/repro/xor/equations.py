@@ -20,7 +20,8 @@ from collections.abc import Iterable
 
 import numpy as np
 
-from .bitmatrix import gf2_rank, gf2_row_reduce
+from ..exceptions import InvalidParameterError
+from .bitmatrix import gf2_rank
 
 Position = tuple[int, int]
 
@@ -45,7 +46,7 @@ class ParityCheckSystem:
         self.positions = list(positions)
         self.index = {pos: i for i, pos in enumerate(self.positions)}
         if len(self.index) != len(self.positions):
-            raise ValueError("duplicate positions")
+            raise InvalidParameterError("duplicate positions")
         eqs = [frozenset(eq) for eq in equations]
         self.equations = eqs
         matrix = np.zeros((len(eqs), len(self.positions)), dtype=bool)
@@ -56,6 +57,25 @@ class ParityCheckSystem:
 
     # -- capability oracle -----------------------------------------------------
 
+    def column_submatrix(self, cells: Iterable[Position]) -> np.ndarray:
+        """The parity-check matrix restricted to the given cells' columns.
+
+        This is the object every erasure question reduces to: a cell
+        set is decodable iff this submatrix has full column rank.  The
+        static certifier (:mod:`repro.static.certify`) calls it for all
+        ``C(n, 2)`` double-column erasures to prove MDS-ness without
+        encoding a single stripe.
+        """
+        cols = [self.index[pos] for pos in cells]
+        return self.matrix[:, cols]
+
+    def erased_rank(self, cells: Iterable[Position]) -> int:
+        """GF(2) rank of the submatrix over the given cells."""
+        sub = self.column_submatrix(cells)
+        if sub.shape[1] == 0:
+            return 0
+        return gf2_rank(sub)
+
     def can_recover(self, erased: Iterable[Position]) -> bool:
         """True iff the erased cell set is uniquely decodable.
 
@@ -64,11 +84,10 @@ class ParityCheckSystem:
         known cells contribute constants; the unknowns then have a
         unique solution).
         """
-        cols = [self.index[pos] for pos in erased]
-        if not cols:
+        cells = list(erased)
+        if not cells:
             return True
-        sub = self.matrix[:, cols]
-        return gf2_rank(sub) == len(cols)
+        return self.erased_rank(cells) == len(cells)
 
     def solve_erased(self, erased: list[Position], known_xor) -> np.ndarray:
         """Solve for erased cells given per-equation XOR of known cells.

@@ -178,3 +178,91 @@ class TestFaultsCommand:
         ) == 0
         assert "wrote fault-scenario results" in capsys.readouterr().out
         assert "HV" in target.read_text()
+
+
+class TestCertifyCommand:
+    def test_parser_registered(self):
+        args = build_parser().parse_args(["certify", "--p", "7"])
+        assert args.command == "certify"
+        assert args.p == 7
+        assert not args.smoke
+
+    def test_single_code_table(self, capsys):
+        assert main(["certify", "--code", "HV", "--p", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "HV" in out
+        assert "yes" in out  # the MDS column
+
+    def test_smoke_matches_pins(self, capsys):
+        assert main(["certify", "--smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "certificate hash HV@5:" in out
+        assert "match the pinned hashes" in out
+
+    def test_smoke_hashes_are_deterministic(self, capsys):
+        assert main(["certify", "--smoke"]) == 0
+        first = [
+            line for line in capsys.readouterr().out.splitlines()
+            if line.startswith("certificate hash")
+        ]
+        assert main(["certify", "--smoke"]) == 0
+        second = [
+            line for line in capsys.readouterr().out.splitlines()
+            if line.startswith("certificate hash")
+        ]
+        assert first == second and first
+
+    def test_json_payload(self, capsys):
+        import json
+
+        assert main(["certify", "--code", "HV", "--p", "5", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        cert = payload["certificates"]["HV@5"]
+        assert cert["claims"]["four_parallel_recovery_chains"] is True
+        assert payload["failed_claims"] == []
+
+    def test_output_file_still_prints_hashes(self, capsys, tmp_path):
+        target = tmp_path / "certs.json"
+        assert main(
+            ["certify", "--code", "HV", "--p", "5", "--json",
+             "--output", str(target)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "certificate hash HV@5:" in out
+        assert "HV@5" in target.read_text()
+
+
+class TestLintCommand:
+    def test_parser_registered(self):
+        args = build_parser().parse_args(["lint"])
+        assert args.command == "lint"
+        assert args.paths == []
+
+    def test_package_is_clean(self, capsys):
+        assert main(["lint"]) == 0
+        assert "no violations" in capsys.readouterr().out
+
+    def test_violations_exit_nonzero(self, capsys, tmp_path):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text(
+            "import numpy as np\n\nrng = np.random.default_rng()\n"
+        )
+        assert main(["lint", str(dirty)]) == 1
+        out = capsys.readouterr().out
+        assert "R001" in out
+
+    def test_rule_filter(self, capsys, tmp_path):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text(
+            "import numpy as np\n\nrng = np.random.default_rng()\n"
+        )
+        assert main(["lint", str(dirty), "--rules", "R004"]) == 0
+
+    def test_json_format(self, capsys, tmp_path):
+        import json
+
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("def f(x=[]):\n    return x\n")
+        assert main(["lint", str(dirty), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["violations"][0]["rule"] == "R004"

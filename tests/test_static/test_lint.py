@@ -1,0 +1,318 @@
+"""Tests for the repo linter (rules R001-R005)."""
+
+import textwrap
+
+import pytest
+
+from repro.exceptions import LintViolationError, StaticAnalysisError
+from repro.static import (
+    ALL_RULES,
+    RULES_BY_ID,
+    allowed_exception_names,
+    default_lint_target,
+    lint_paths,
+    select_rules,
+)
+
+
+def lint_source(tmp_path, source, name="snippet.py", rules=None):
+    """Write a snippet and lint it, returning the violations."""
+    target = tmp_path / name
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(textwrap.dedent(source))
+    return lint_paths([target], rule_ids=rules).violations
+
+
+class TestR001UnseededRandom:
+    def test_catches_planted_unseeded_default_rng(self, tmp_path):
+        violations = lint_source(
+            tmp_path,
+            """
+            import numpy as np
+
+            def sample():
+                rng = np.random.default_rng()
+                return rng.integers(0, 10)
+            """,
+        )
+        assert [v.rule for v in violations] == ["R001"]
+        assert "resolve_rng" in violations[0].message
+
+    def test_catches_seeded_default_rng_outside_resolver(self, tmp_path):
+        # Even a seeded default_rng bypasses generator threading.
+        violations = lint_source(
+            tmp_path,
+            """
+            import numpy as np
+
+            def sample(seed):
+                return np.random.default_rng(seed)
+            """,
+        )
+        assert [v.rule for v in violations] == ["R001"]
+
+    def test_allows_default_rng_inside_resolve_rng(self, tmp_path):
+        violations = lint_source(
+            tmp_path,
+            """
+            import numpy as np
+
+            def resolve_rng(state):
+                if isinstance(state, np.random.Generator):
+                    return state
+                return np.random.default_rng(state)
+            """,
+        )
+        assert violations == ()
+
+    def test_catches_global_random_calls(self, tmp_path):
+        violations = lint_source(
+            tmp_path,
+            """
+            import random
+            import numpy as np
+
+            def roll():
+                return random.randint(1, 6) + np.random.rand()
+            """,
+        )
+        assert sorted(v.rule for v in violations) == ["R001", "R001"]
+
+    def test_catches_unseeded_random_random(self, tmp_path):
+        violations = lint_source(
+            tmp_path,
+            """
+            import random
+
+            rng = random.Random()
+            """,
+        )
+        assert [v.rule for v in violations] == ["R001"]
+
+    def test_allows_seeded_random_random(self, tmp_path):
+        # faults/plan.py draws from an explicitly seeded Random.
+        violations = lint_source(
+            tmp_path,
+            """
+            import random
+
+            def plan(seed):
+                return random.Random(seed)
+            """,
+        )
+        assert violations == ()
+
+    def test_resolves_import_aliases(self, tmp_path):
+        violations = lint_source(
+            tmp_path,
+            """
+            from numpy.random import default_rng
+
+            gen = default_rng()
+            """,
+        )
+        assert [v.rule for v in violations] == ["R001"]
+
+
+class TestR002WallClock:
+    SIM_SNIPPET = """
+        import time
+
+        def now():
+            return time.time()
+        """
+
+    def test_flags_wall_clock_in_sim_module(self, tmp_path):
+        # Fabricate a `repro.sim` package so the module path matches.
+        pkg = tmp_path / "repro"
+        (pkg / "sim").mkdir(parents=True)
+        (pkg / "__init__.py").write_text("")
+        (pkg / "sim" / "__init__.py").write_text("")
+        violations = lint_source(
+            tmp_path, self.SIM_SNIPPET, name="repro/sim/clocked.py"
+        )
+        assert [v.rule for v in violations] == ["R002"]
+        assert "event clock" in violations[0].message
+
+    def test_ignores_wall_clock_outside_simulators(self, tmp_path):
+        violations = lint_source(tmp_path, self.SIM_SNIPPET)
+        assert violations == ()
+
+
+class TestR003ExceptionHierarchy:
+    def test_flags_builtin_raise(self, tmp_path):
+        violations = lint_source(
+            tmp_path,
+            """
+            def check(x):
+                if x < 0:
+                    raise ValueError("negative")
+            """,
+        )
+        assert [v.rule for v in violations] == ["R003"]
+
+    def test_allows_not_implemented_and_reraise(self, tmp_path):
+        violations = lint_source(
+            tmp_path,
+            """
+            def abstract():
+                raise NotImplementedError
+
+            def passthrough():
+                try:
+                    abstract()
+                except Exception as exc:
+                    raise exc
+            """,
+        )
+        assert violations == ()
+
+    def test_allowlist_is_definition_and_export_intersection(self):
+        allowed = allowed_exception_names(default_lint_target())
+        assert "ReproError" in allowed
+        assert "InvalidParameterError" in allowed
+        assert "CertificationError" in allowed
+        assert "ValueError" not in allowed
+
+
+class TestR004MutableDefault:
+    def test_flags_list_dict_set_defaults(self, tmp_path):
+        violations = lint_source(
+            tmp_path,
+            """
+            def a(x=[]):
+                return x
+
+            def b(x={}):
+                return x
+
+            def c(*, x=set()):
+                return x
+            """,
+        )
+        assert [v.rule for v in violations] == ["R004", "R004", "R004"]
+
+    def test_allows_immutable_defaults(self, tmp_path):
+        violations = lint_source(
+            tmp_path,
+            """
+            def f(x=(), y=None, z="s", w=frozenset()):
+                return x, y, z, w
+            """,
+        )
+        assert violations == ()
+
+
+class TestR005ChainConstruction:
+    def test_flags_chain_outside_build_chains(self, tmp_path):
+        violations = lint_source(
+            tmp_path,
+            """
+            from repro.codes.base import ElementKind, ParityChain
+
+            def sneak():
+                return ParityChain(ElementKind.ROW, (0, 0), ((0, 1),))
+            """,
+        )
+        assert [v.rule for v in violations] == ["R005"]
+
+    def test_allows_chain_inside_build_chains(self, tmp_path):
+        violations = lint_source(
+            tmp_path,
+            """
+            from repro.codes.base import ElementKind, ParityChain
+
+            class Code:
+                def _build_chains(self):
+                    def helper(r):
+                        return ParityChain(ElementKind.ROW, (r, 0), ((r, 1),))
+                    return [helper(0)]
+            """,
+        )
+        assert violations == ()
+
+
+class TestWaivers:
+    def test_noqa_with_rule_id_waives(self, tmp_path):
+        violations = lint_source(
+            tmp_path,
+            """
+            import random
+
+            rng = random.Random()  # noqa: R001
+            """,
+        )
+        assert violations == ()
+
+    def test_bare_noqa_waives_everything(self, tmp_path):
+        violations = lint_source(
+            tmp_path,
+            """
+            def f(x=[]):  # noqa
+                return x
+            """,
+        )
+        assert violations == ()
+
+    def test_mismatched_noqa_does_not_waive(self, tmp_path):
+        violations = lint_source(
+            tmp_path,
+            """
+            def f(x=[]):  # noqa: R001
+                return x
+            """,
+        )
+        assert [v.rule for v in violations] == ["R004"]
+
+
+class TestDriver:
+    def test_repro_package_is_clean(self):
+        report = lint_paths([default_lint_target()])
+        assert report.clean, report.render()
+        assert report.files_checked > 50
+
+    def test_rule_selection(self, tmp_path):
+        violations = lint_source(
+            tmp_path,
+            """
+            import random
+
+            def f(x=[]):
+                return random.random()
+            """,
+            rules=["R004"],
+        )
+        assert [v.rule for v in violations] == ["R004"]
+
+    def test_unknown_rule_rejected(self):
+        with pytest.raises(StaticAnalysisError, match="R999"):
+            select_rules(["R999"])
+
+    def test_syntax_error_is_a_clean_failure(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def broken(:\n")
+        with pytest.raises(StaticAnalysisError, match="cannot parse"):
+            lint_paths([bad])
+
+    def test_require_clean_raises_with_violations(self, tmp_path):
+        target = tmp_path / "dirty.py"
+        target.write_text("def f(x=[]):\n    return x\n")
+        report = lint_paths([target])
+        with pytest.raises(LintViolationError) as excinfo:
+            report.require_clean()
+        assert len(excinfo.value.violations) == 1
+
+    def test_catalogue_is_complete(self):
+        assert [r.rule_id for r in ALL_RULES] == [
+            "R001", "R002", "R003", "R004", "R005",
+        ]
+        assert set(RULES_BY_ID) == {"R001", "R002", "R003", "R004", "R005"}
+
+    def test_report_json_shape(self, tmp_path):
+        target = tmp_path / "dirty.py"
+        target.write_text("def f(x=[]):\n    return x\n")
+        payload = lint_paths([target]).to_dict()
+        assert payload["files_checked"] == 1
+        (violation,) = payload["violations"]
+        assert violation["rule"] == "R004"
+        assert violation["line"] == 1

@@ -1,0 +1,53 @@
+"""The pinned certificate hashes are a layout regression tripwire."""
+
+import pytest
+
+from repro.exceptions import CertificationError
+from repro.static import (
+    PINNED_CERTIFICATE_HASHES,
+    check_pins,
+    smoke_certificates,
+)
+
+
+@pytest.fixture(scope="module")
+def smoke():
+    return smoke_certificates()
+
+
+class TestPins:
+    def test_every_smoke_certificate_is_pinned(self, smoke):
+        assert {c.key for c in smoke} == set(PINNED_CERTIFICATE_HASHES)
+
+    def test_hashes_match_pins(self, smoke):
+        """Any layout change in any registered code fails here.
+
+        If the change is intentional, regenerate the pins with
+        ``python -m repro.cli certify --smoke --json`` and update
+        ``repro/static/pins.py``.
+        """
+        mismatches = {
+            c.key: (c.certificate_hash, PINNED_CERTIFICATE_HASHES.get(c.key))
+            for c in smoke
+            if c.certificate_hash != PINNED_CERTIFICATE_HASHES.get(c.key)
+        }
+        assert not mismatches, f"certificate drift: {mismatches}"
+        check_pins(smoke)  # same data through the CI-gate entry point
+
+    def test_all_smoke_claims_hold(self, smoke):
+        for cert in smoke:
+            cert.require_claims()
+
+    def test_check_pins_rejects_unpinned(self, smoke):
+        import dataclasses
+
+        ghost = dataclasses.replace(smoke[0], code="Ghost")
+        with pytest.raises(CertificationError, match="no pinned"):
+            check_pins([ghost])
+
+    def test_check_pins_rejects_drift(self, smoke):
+        import dataclasses
+
+        drifted = dataclasses.replace(smoke[0], parity_load=(9, 9, 9, 9))
+        with pytest.raises(CertificationError, match="does not match"):
+            check_pins([drifted])

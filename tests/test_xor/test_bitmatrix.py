@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.exceptions import DecodeError
+from repro.exceptions import DecodeError, InvalidParameterError
 from repro.xor.bitmatrix import gf2_rank, gf2_row_reduce, gf2_solve
 
 
@@ -91,3 +91,72 @@ class TestSolve:
         rhs = np.array([3, 5, 7], dtype=np.uint8)  # 3^5 != 7
         with pytest.raises(DecodeError):
             gf2_solve(m, rhs)
+
+
+class TestRowReduceEdgeCases:
+    """Paths only exercised indirectly through the decode stack."""
+
+    def test_2d_rhs_mirrors_row_swaps(self):
+        # Pivot search must swap row 0 and 1; the 2-D rhs rows follow.
+        m = np.array([[0, 1], [1, 0]], dtype=bool)
+        rhs = np.array([[1, 2, 3], [4, 5, 6]], dtype=np.uint8)
+        reduced, new_rhs, pivots = gf2_row_reduce(m, rhs)
+        assert pivots == [0, 1]
+        assert np.array_equal(new_rhs[0], [4, 5, 6])
+        assert np.array_equal(new_rhs[1], [1, 2, 3])
+
+    def test_2d_rhs_mirrors_eliminations(self):
+        m = np.array([[1, 1], [0, 1]], dtype=bool)
+        rhs = np.array([[7, 9], [2, 4]], dtype=np.uint8)
+        _, new_rhs, _ = gf2_row_reduce(m, rhs)
+        assert np.array_equal(new_rhs[0], [7 ^ 2, 9 ^ 4])
+        assert np.array_equal(new_rhs[1], [2, 4])
+
+    def test_zero_row_matrix(self):
+        m = np.zeros((0, 4), dtype=bool)
+        reduced, rhs, pivots = gf2_row_reduce(m)
+        assert reduced.shape == (0, 4)
+        assert rhs is None
+        assert pivots == []
+        assert gf2_rank(m) == 0
+
+    def test_all_zero_rows(self):
+        m = np.zeros((3, 3), dtype=bool)
+        reduced, _, pivots = gf2_row_reduce(m)
+        assert pivots == []
+        assert not reduced.any()
+
+    def test_single_column_matrix(self):
+        m = np.array([[1], [1], [0]], dtype=bool)
+        reduced, _, pivots = gf2_row_reduce(m)
+        assert pivots == [0]
+        assert gf2_rank(m) == 1
+        # Elimination must clear the second row's bit.
+        assert list(reduced[:, 0]) == [True, False, False]
+
+    def test_single_column_solve_with_2d_rhs(self):
+        m = np.array([[1], [1]], dtype=bool)
+        rhs = np.array([[9, 8], [9, 8]], dtype=np.uint8)
+        x = gf2_solve(m, rhs)
+        assert x.shape == (1, 2)
+        assert np.array_equal(x[0], [9, 8])
+
+    def test_single_column_inconsistent(self):
+        m = np.array([[1], [1]], dtype=bool)
+        rhs = np.array([9, 5], dtype=np.uint8)
+        with pytest.raises(DecodeError):
+            gf2_solve(m, rhs)
+
+    def test_non_2d_raises_package_error(self):
+        # The domain errors are part of the exported hierarchy (R003).
+        with pytest.raises(InvalidParameterError):
+            gf2_row_reduce(np.ones(3, dtype=bool))
+        with pytest.raises(InvalidParameterError):
+            gf2_row_reduce(np.eye(2, dtype=bool), np.zeros(3, dtype=np.uint8))
+
+    def test_wide_zero_column_matrix(self):
+        m = np.zeros((2, 0), dtype=bool)
+        reduced, _, pivots = gf2_row_reduce(m)
+        assert reduced.shape == (2, 0)
+        assert pivots == []
+        assert gf2_rank(m) == 0
