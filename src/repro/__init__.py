@@ -36,6 +36,7 @@ from .exceptions import (
     NotPrimeError,
     LayoutError,
     DecodeError,
+    PlanError,
     UnrecoverableFailureError,
     UnrecoverableFaultError,
     SimulationError,
@@ -71,6 +72,7 @@ __all__ = [
     "NotPrimeError",
     "LayoutError",
     "DecodeError",
+    "PlanError",
     "UnrecoverableFailureError",
     "UnrecoverableFaultError",
     "SimulationError",

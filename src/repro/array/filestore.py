@@ -56,11 +56,17 @@ class FileStore:
         code: "ArrayCode",
         element_size: int = 4096,
         injector: "FaultInjector" | None = None,
+        engine: str = "python",
     ) -> None:
         if element_size <= 0:
             raise InvalidParameterError("element_size must be positive")
+        if engine not in ("python", "vector"):
+            raise InvalidParameterError(
+                f"unknown engine {engine!r}; expected 'python' or 'vector'"
+            )
         self.code = code
         self.element_size = element_size
+        self.engine = engine
         self.stripes: list[Stripe] = []
         self.failed_disks: set[int] = set()
         self.sidecar = ChecksumSidecar(code.rows, code.cols)
@@ -91,7 +97,7 @@ class FileStore:
     def _ensure_capacity(self, end_byte: int) -> None:
         while self.capacity < end_byte:
             stripe = self.code.make_stripe(self.element_size)
-            self.code.encode(stripe)  # all-zero data, valid parity
+            self.code.encode(stripe, engine=self.engine)  # all-zero data, valid parity
             self.sidecar.add_stripe(stripe)
             for disk in self.failed_disks:
                 stripe.erase_disks([disk])
@@ -184,7 +190,7 @@ class FileStore:
         """
         if not stripe.erased.any() and not stripe.latent.any():
             return stripe
-        return decode_resilient(self.code, stripe, self.healing)
+        return decode_resilient(self.code, stripe, self.healing, engine=self.engine)
 
     # -- byte I/O ----------------------------------------------------------------
 

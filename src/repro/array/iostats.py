@@ -1,9 +1,14 @@
-"""Per-disk I/O accounting.
+"""Per-disk I/O and per-array compute accounting.
 
 Every experiment in the paper is, at bottom, a statement about how
 many element-sized reads and writes land on each disk.  ``IOStats``
 is the ledger: the RAID volume records into it, and the metrics module
 (load-balancing rate, totals) reads from it.
+
+Engine runs add a *compute* dimension: the vectorized executor
+(:mod:`repro.engine.executor`) records how many 64-bit word XORs and
+how many vector-kernel invocations a plan cost, so experiments can
+report compute cost alongside I/O cost from the same object.
 """
 
 from __future__ import annotations
@@ -20,6 +25,10 @@ class IOStats:
     num_disks: int
     reads: list[int] = field(default_factory=list)
     writes: list[int] = field(default_factory=list)
+    #: 64-bit word XOR operations executed by the compute engine.
+    xor_words: int = 0
+    #: vector-kernel invocations (one numpy ufunc call each).
+    kernel_invocations: int = 0
 
     def __post_init__(self) -> None:
         if self.num_disks <= 0:
@@ -40,6 +49,13 @@ class IOStats:
     def record_write(self, disk: int, count: int = 1) -> None:
         self._check(disk, count)
         self.writes[disk] += count
+
+    def record_xor(self, words: int, kernels: int = 1) -> None:
+        """Charge ``words`` word-XORs executed across ``kernels`` calls."""
+        if words < 0 or kernels < 0:
+            raise InvalidParameterError("compute counters must be >= 0")
+        self.xor_words += words
+        self.kernel_invocations += kernels
 
     def _check(self, disk: int, count: int) -> None:
         if not 0 <= disk < self.num_disks:
@@ -79,10 +95,20 @@ class IOStats:
         for d in range(self.num_disks):
             self.reads[d] += other.reads[d]
             self.writes[d] += other.writes[d]
+        self.xor_words += other.xor_words
+        self.kernel_invocations += other.kernel_invocations
 
     def copy(self) -> "IOStats":
-        return IOStats(self.num_disks, list(self.reads), list(self.writes))
+        return IOStats(
+            self.num_disks,
+            list(self.reads),
+            list(self.writes),
+            self.xor_words,
+            self.kernel_invocations,
+        )
 
     def reset(self) -> None:
         self.reads = [0] * self.num_disks
         self.writes = [0] * self.num_disks
+        self.xor_words = 0
+        self.kernel_invocations = 0

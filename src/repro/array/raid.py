@@ -71,8 +71,14 @@ class RAID6Volume:
         num_stripes: int = 16,
         latency: LatencyModel | None = None,
         rotate_stripes: bool = False,
+        engine: str = "python",
     ) -> None:
+        if engine not in ("python", "vector"):
+            raise InvalidParameterError(
+                f"unknown engine {engine!r}; expected 'python' or 'vector'"
+            )
         self.code = code
+        self.engine = engine
         self.latency = latency or LatencyModel()
         self.addressing = VolumeAddressing(code, num_stripes, rotate_stripes)
         self.disks = [
@@ -148,6 +154,21 @@ class RAID6Volume:
             for d in range(self.num_disks)
         )
 
+    def _charge_compute(self, pattern_io: IOStats, choices: dict) -> None:
+        """Charge the XOR-compute cost of repair chain choices.
+
+        Only the ``engine="vector"`` volume accounts compute: each lost
+        element repaired through a chain of ``k`` equation cells costs
+        ``k - 2`` element-wide XOR kernels.  The volume is symbolic, so
+        the unit is element-XORs, not words — the byte-true counters
+        live in :mod:`repro.engine`'s executor.
+        """
+        if self.engine != "vector" or not choices:
+            return
+        xors = sum(len(ch.equation_cells) - 2 for ch in choices.values())
+        pattern_io.record_xor(xors, xors)
+        self.stats.record_xor(xors, xors)
+
     # -- write patterns ---------------------------------------------------------------
 
     def write(self, start: int, length: int) -> PatternResult:
@@ -187,6 +208,7 @@ class RAID6Volume:
                         self.code, failed_col, [loc.position], method="greedy"
                     )
                     extra_read_cells |= set(plan.fetched)
+                    self._charge_compute(pattern_io, plan.choices)
                 else:
                     self._charge(pattern_io, loc.disk, reads=1, writes=1)
                     data_writes += 1
@@ -262,6 +284,7 @@ class RAID6Volume:
                 self.code, failed_col, requested, method=planner
             )
             returned += plan.elements_returned
+            self._charge_compute(pattern_io, plan.choices)
             for cell in sorted(plan.fetched):
                 disk = self.addressing.disk_of(stripe, cell[1])
                 self._charge(pattern_io, disk, reads=1, writes=0)

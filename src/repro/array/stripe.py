@@ -19,6 +19,10 @@ from ..utils import RandomState, resolve_rng
 #: A cell coordinate: ``(row, col)``, 0-based.
 Position = tuple[int, int]
 
+#: The machine-word dtype the vectorized engine reinterprets buffers as.
+WORD_DTYPE = np.uint64
+WORD_BYTES = 8
+
 
 class Stripe:
     """A rows×cols grid of equally-sized byte elements.
@@ -58,6 +62,10 @@ class Stripe:
 
     def get(self, pos: Position) -> np.ndarray:
         """The element buffer at ``pos``; fails if the cell is erased.
+
+        The returned array is a C-contiguous *view* into the stripe's
+        backing storage (``data`` is one contiguous allocation), never
+        a copy — callers may XOR into it in place.
 
         A cell carrying a latent sector error raises
         :class:`LatentSectorError` — the disk is up but the media is
@@ -159,6 +167,58 @@ class Stripe:
             raise InvalidParameterError(f"flip mask must be in 1..255, got {mask}")
         self.data[r, c, byte_index] ^= mask
 
+    # -- contiguous / word-level views --------------------------------------------
+
+    @property
+    def words_per_element(self) -> int:
+        """64-bit words per element (:exc:`InvalidParameterError` if unaligned)."""
+        if self.element_size % WORD_BYTES:
+            raise InvalidParameterError(
+                f"element_size {self.element_size} is not a multiple of "
+                f"{WORD_BYTES}; no word view exists"
+            )
+        return self.element_size // WORD_BYTES
+
+    def flat_view(self) -> np.ndarray:
+        """The stripe as a ``(rows*cols, element_size)`` uint8 view.
+
+        Cell ``(r, c)`` is row ``r * cols + c`` — the engine's slot
+        numbering.  Always a view: ``data`` is one C-contiguous
+        allocation, so the reshape cannot copy.
+        """
+        flat = self.data.reshape(self.rows * self.cols, self.element_size)
+        assert flat.base is not None and np.shares_memory(flat, self.data)
+        return flat
+
+    def as_words(self) -> np.ndarray:
+        """The stripe as a ``(rows*cols, words_per_element)`` uint64 view.
+
+        The word-wise reinterpretation the vectorized engine runs over.
+        Guaranteed zero-copy: the backing buffer is contiguous and
+        numpy allocations are at least 16-byte aligned; both are
+        asserted so a silent copy (which would detach the executor
+        from the stripe) can never happen.
+        """
+        words_per_element = self.words_per_element  # typed error if unaligned
+        words = self.flat_view().view(WORD_DTYPE)
+        assert self.data.flags["C_CONTIGUOUS"]
+        assert self.data.ctypes.data % WORD_BYTES == 0, "unaligned stripe buffer"
+        assert np.shares_memory(words, self.data), "word view silently copied"
+        return words.reshape(self.rows * self.cols, words_per_element)
+
+    def flat_column(self, col: int) -> np.ndarray:
+        """Disk ``col``'s elements as a ``(rows, element_size)`` view.
+
+        Rows are strided (one per grid row) but each element stays
+        contiguous, so per-element kernels and ``.view`` dtype changes
+        on the last axis remain copy-free.
+        """
+        if not 0 <= col < self.cols:
+            raise InvalidParameterError(f"disk {col} outside 0..{self.cols - 1}")
+        view = self.data[:, col, :]
+        assert np.shares_memory(view, self.data)
+        return view
+
     # -- whole-stripe helpers ----------------------------------------------------
 
     def xor_of(self, positions: Iterable[Position]) -> np.ndarray:
@@ -203,4 +263,98 @@ class Stripe:
         return (
             f"Stripe(rows={self.rows}, cols={self.cols}, "
             f"element_size={self.element_size}, erased={int(self.erased.sum())})"
+        )
+
+
+class StripeBatch:
+    """``count`` same-shaped stripes in one contiguous allocation.
+
+    The vectorized engine's batched execution wants one kernel call
+    across N stripes; that requires the stripes to share a single
+    buffer with the batch on the leading axis.  ``stripe(i)`` hands out
+    a :class:`Stripe` whose ``data``/``erased``/``latent`` arrays are
+    *views* into the batch storage, so per-stripe operations (fills,
+    erasures, the pure-Python oracle) and whole-batch kernels see the
+    same bytes.
+    """
+
+    def __init__(self, rows: int, cols: int, element_size: int, count: int) -> None:
+        if count <= 0:
+            raise InvalidParameterError("batch count must be positive")
+        if rows <= 0 or cols <= 0:
+            raise InvalidParameterError("stripe dimensions must be positive")
+        if element_size <= 0:
+            raise InvalidParameterError("element_size must be positive")
+        self.rows = rows
+        self.cols = cols
+        self.element_size = element_size
+        self.count = count
+        self.data = np.zeros((count, rows, cols, element_size), dtype=np.uint8)
+        self.erased = np.zeros((count, rows, cols), dtype=bool)
+        self.latent = np.zeros((count, rows, cols), dtype=bool)
+
+    @classmethod
+    def from_stripes(cls, stripes: "Iterable[Stripe]") -> "StripeBatch":
+        """Copy existing stripes into one contiguous batch."""
+        stripes = list(stripes)
+        if not stripes:
+            raise InvalidParameterError("need at least one stripe to batch")
+        first = stripes[0]
+        for s in stripes[1:]:
+            if (s.rows, s.cols, s.element_size) != (
+                first.rows,
+                first.cols,
+                first.element_size,
+            ):
+                raise InvalidParameterError("batched stripes must share a shape")
+        batch = cls(first.rows, first.cols, first.element_size, len(stripes))
+        for i, s in enumerate(stripes):
+            batch.data[i] = s.data
+            batch.erased[i] = s.erased
+            batch.latent[i] = s.latent
+        return batch
+
+    def stripe(self, index: int) -> Stripe:
+        """Stripe ``index`` as a shared-memory view (no copies)."""
+        if not 0 <= index < self.count:
+            raise InvalidParameterError(
+                f"stripe index {index} outside 0..{self.count - 1}"
+            )
+        view = Stripe.__new__(Stripe)
+        view.rows = self.rows
+        view.cols = self.cols
+        view.element_size = self.element_size
+        view.data = self.data[index]
+        view.erased = self.erased[index]
+        view.latent = self.latent[index]
+        return view
+
+    def stripes(self) -> list[Stripe]:
+        return [self.stripe(i) for i in range(self.count)]
+
+    def flat_view(self) -> np.ndarray:
+        """``(count, rows*cols, element_size)`` uint8 view."""
+        flat = self.data.reshape(self.count, self.rows * self.cols, self.element_size)
+        assert np.shares_memory(flat, self.data)
+        return flat
+
+    def as_words(self) -> np.ndarray:
+        """``(count, rows*cols, words)`` uint64 view (zero-copy, asserted)."""
+        if self.element_size % WORD_BYTES:
+            raise InvalidParameterError(
+                f"element_size {self.element_size} is not a multiple of "
+                f"{WORD_BYTES}; no word view exists"
+            )
+        words = self.flat_view().view(WORD_DTYPE)
+        assert self.data.ctypes.data % WORD_BYTES == 0, "unaligned batch buffer"
+        assert np.shares_memory(words, self.data), "word view silently copied"
+        return words
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"StripeBatch(count={self.count}, rows={self.rows}, "
+            f"cols={self.cols}, element_size={self.element_size})"
         )

@@ -194,8 +194,40 @@ def build_parser() -> argparse.ArgumentParser:
     )
     certify.add_argument("--output", default=None)
 
+    bench = sub.add_parser(
+        "bench-engine",
+        help="XOR-engine throughput: MB/s per code for the pure-Python, "
+        "python-element, and compiled-vector paths",
+    )
+    bench.add_argument(
+        "--code",
+        default=None,
+        help="benchmark one code only (default: every XOR code)",
+    )
+    bench.add_argument("--p", type=int, default=7, help="prime (default 7)")
+    bench.add_argument(
+        "--element-size",
+        type=int,
+        default=None,
+        help="bytes per element (default 65536; the acceptance size)",
+    )
+    bench.add_argument(
+        "--batch", type=int, default=8, help="stripes per batched execution"
+    )
+    bench.add_argument("--repeats", type=int, default=3, help="best-of repeats")
+    bench.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small fixed CI run (HV+RDP at 4 KiB elements, 1 repeat)",
+    )
+    bench.add_argument(
+        "--output",
+        default="BENCH_engine.json",
+        help="JSON results file (default BENCH_engine.json; '-' for stdout)",
+    )
+
     lint = sub.add_parser(
-        "lint", help="repo lint rules R001-R005 (AST-based, repo-specific)"
+        "lint", help="repo lint rules R001-R006 (AST-based, repo-specific)"
     )
     lint.add_argument(
         "paths",
@@ -458,6 +490,8 @@ def _run_certify(args: argparse.Namespace) -> int:
     from .static import (
         certify_registry,
         check_pins,
+        check_plan_pins,
+        pinned_plans,
         smoke_certificates,
     )
     from .utils import EVALUATION_PRIMES
@@ -528,14 +562,54 @@ def _run_certify(args: argparse.Namespace) -> int:
     if args.smoke:
         check_pins(certs)  # raises CertificationError on any mismatch
         print(f"{len(certs)} certificate(s) match the pinned hashes")
+        plans = list(pinned_plans())
+        for plan in plans:
+            print(f"plan hash {plan.key}: {plan.plan_hash}")
+        check_plan_pins(plans)  # raises CertificationError on drift
+        print(f"{len(plans)} compiled plan(s) match the pinned hashes")
     if failed:
         print(f"FAILED claims: {', '.join(failed)}", file=sys.stderr)
         return 1
     return 0
 
 
+def _run_bench_engine(args: argparse.Namespace) -> int:
+    """XOR-engine throughput sweep; writes BENCH_engine.json."""
+    import json
+
+    from .engine.bench import run_engine_benchmark
+
+    kwargs = dict(
+        p=args.p,
+        batch=args.batch,
+        repeats=args.repeats,
+        smoke=args.smoke,
+    )
+    if args.code:
+        kwargs["codes"] = (args.code,)
+    if args.element_size is not None:
+        kwargs["element_size"] = args.element_size
+    payload = run_engine_benchmark(**kwargs)
+    rendered = json.dumps(payload, indent=2, sort_keys=True)
+    if args.output and args.output != "-":
+        with open(args.output, "w") as fh:
+            fh.write(rendered + "\n")
+        print(f"wrote engine benchmark to {args.output}")
+    else:
+        print(rendered)
+    # A human-readable digest on stdout either way.
+    for row in payload["results"]:
+        vec = row["paths"]["vector"]["mb_per_s"]
+        print(
+            f"{row['code']:<10} {row['op']:<15} vector {vec:>9.1f} MB/s  "
+            f"({row['speedup_vs_pure_python']:.1f}x pure-python, "
+            f"{row['speedup_vs_python_element']:.2f}x python-element)"
+        )
+    return 0
+
+
 def _run_lint(args: argparse.Namespace) -> int:
-    """Run the R001-R005 catalogue; exits 1 when violations remain."""
+    """Run the R001-R006 catalogue; exits 1 when violations remain."""
     import json
 
     from .static import default_lint_target, lint_paths
@@ -571,6 +645,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "certify":
         return _run_certify(args)
+
+    if args.command == "bench-engine":
+        return _run_bench_engine(args)
 
     if args.command == "lint":
         return _run_lint(args)

@@ -289,9 +289,24 @@ class ArrayCode(ABC):
             remaining = still
         return tuple(ordered)
 
-    def encode(self, stripe: Stripe) -> None:
-        """Fill every parity cell of ``stripe`` from its members."""
+    def encode(self, stripe: Stripe, *, engine: str = "python") -> None:
+        """Fill every parity cell of ``stripe`` from its members.
+
+        ``engine="vector"`` routes through the compiled-plan executor
+        (:mod:`repro.engine`): the parity schedule is lowered once,
+        cached, and run as in-place word-wide XOR kernels.  The default
+        ``"python"`` path below stays the reference implementation.
+        """
         self._check_stripe(stripe)
+        if engine == "vector":
+            from ..engine import compile_plan, execute_plan
+
+            execute_plan(compile_plan(self, "encode"), stripe)
+            return
+        if engine != "python":
+            raise InvalidParameterError(
+                f"unknown engine {engine!r}; expected 'python' or 'vector'"
+            )
         for chain in self.encode_order:
             stripe.set(chain.parity, stripe.xor_of(chain.members))
 
@@ -430,6 +445,8 @@ class ArrayCode(ABC):
         self,
         stripe: Stripe,
         failed_disks: Sequence[int] | None = None,
+        *,
+        engine: str = "python",
     ) -> DecodeReport:
         """Recover every erased cell of ``stripe`` in place.
 
@@ -437,6 +454,13 @@ class ArrayCode(ABC):
         Decoding first runs chain peeling (the fast structured path all
         the paper's codes use), then falls back to Gaussian elimination
         over the parity-check system for anything peeling cannot reach.
+
+        ``engine="vector"`` compiles the peel schedule for this erasure
+        pattern into an :class:`~repro.engine.XorPlan` (cached per
+        pattern) and executes it with word-wide XOR kernels.  Patterns
+        that peeling alone cannot finish — the ones that need the
+        Gaussian reference decoder — fall back to this pure-Python
+        path transparently.
 
         Raises :class:`UnrecoverableFailureError` when the pattern
         exceeds the code's capability.
@@ -452,9 +476,34 @@ class ArrayCode(ABC):
                 f"{self.name}(p={self.p}): erasure pattern of {len(erased)} "
                 f"cells is beyond the code's capability"
             )
+        if engine == "vector":
+            report = self._decode_vector(stripe, erased)
+            if report is not None:
+                return report
+        elif engine != "python":
+            raise InvalidParameterError(
+                f"unknown engine {engine!r}; expected 'python' or 'vector'"
+            )
         report = self._peel(stripe, erased)
         if erased:
             self._gaussian_decode(stripe, sorted(erased), report)
+        return report
+
+    def _decode_vector(
+        self, stripe: Stripe, erased: set[Position]
+    ) -> DecodeReport | None:
+        """Compiled-plan decode; None when the pattern needs Gaussian."""
+        from ..engine import compile_plan, execute_plan
+        from ..exceptions import PlanError
+
+        pattern = tuple(sorted(r * self.cols + c for r, c in erased))
+        try:
+            plan = compile_plan(self, "decode", pattern)
+        except PlanError:
+            return None
+        execute_plan(plan, stripe)
+        report = DecodeReport(rounds=plan.rounds)
+        report.peeled.extend(plan.position_of(slot) for slot in plan.outputs)
         return report
 
     def _peel(self, stripe: Stripe, erased: set[Position]) -> DecodeReport:

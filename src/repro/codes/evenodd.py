@@ -71,6 +71,8 @@ class EvenOddCode(ArrayCode):
         self,
         stripe: Stripe,
         failed_disks: Sequence[int] | None = None,
+        *,
+        engine: str = "python",
     ) -> DecodeReport:
         """Decode, preferring the classic S-syndrome algorithm.
 
@@ -78,10 +80,17 @@ class EvenOddCode(ArrayCode):
         (zig-zag between the two lost data columns after recovering
         the adjuster ``S`` from the parity columns); any other erasure
         pattern falls back to the generic peeling + Gaussian decoder.
+
+        ``engine="vector"`` skips the classic decoder and goes through
+        the generic compiled-plan path; the patterns whose zig-zag
+        needs the adjuster have no flat XOR schedule and fall back to
+        pure Python there.
         """
         self._check_stripe(stripe)
         if failed_disks is not None:
             stripe.erase_disks(failed_disks)
+        if engine == "vector":
+            return super().decode(stripe, None, engine="vector")
         erased = set(stripe.erased_positions())
         if not erased:
             return DecodeReport()

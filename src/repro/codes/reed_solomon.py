@@ -75,8 +75,13 @@ class ReedSolomonRAID6:
 
     # -- encode / verify -----------------------------------------------------------
 
-    def encode(self, stripe: Stripe) -> None:
-        """Compute P and Q from the data columns."""
+    def encode(self, stripe: Stripe, *, engine: str = "python") -> None:
+        """Compute P and Q from the data columns.
+
+        ``engine`` is accepted for interface parity with the XOR array
+        codes; the GF(2^8) multiply below is already numpy-vectorized
+        and has no flat XOR schedule, so both values run the same path.
+        """
         self._check_stripe(stripe)
         p = np.zeros(stripe.element_size, dtype=np.uint8)
         q = np.zeros(stripe.element_size, dtype=np.uint8)
@@ -109,8 +114,17 @@ class ReedSolomonRAID6:
 
     # -- decode -----------------------------------------------------------------
 
-    def decode(self, stripe: Stripe, failed_disks: Sequence[int] | None = None) -> None:
-        """Recover up to two erased columns in place."""
+    def decode(
+        self,
+        stripe: Stripe,
+        failed_disks: Sequence[int] | None = None,
+        *,
+        engine: str = "python",
+    ) -> None:
+        """Recover up to two erased columns in place.
+
+        ``engine`` is accepted for interface parity; see :meth:`encode`.
+        """
         self._check_stripe(stripe)
         if failed_disks is not None:
             stripe.erase_disks(failed_disks)

@@ -1,0 +1,47 @@
+"""repro.engine — plan compiler and vectorized XOR executor.
+
+The engine turns a code's parity equations into a flat, topologically
+ordered XOR schedule (:class:`XorPlan`) once, caches it, and then runs
+that schedule over ``uint64``-viewed stripe buffers with a handful of
+numpy kernels per step.  The pure-Python decoders in
+:mod:`repro.codes` remain the reference oracle; every plan is checked
+byte-identical against them in the differential tests.
+
+Typical use::
+
+    from repro.engine import compile_plan, execute_plan
+
+    plan = compile_plan(code, "recover-double", (0, 2))
+    execute_plan(plan, stripe)           # one stripe
+    execute_plan(plan, batch)            # a StripeBatch, one kernel per step
+    execute_plan(plan, stripe, workers=4)  # chains in parallel
+
+Higher layers normally never touch this module directly — they pass
+``engine="vector"`` to :meth:`ArrayCode.encode/decode`, the recovery
+planners, or :class:`RAID6Volume` and the wiring lands here.
+"""
+
+from .compile import (
+    MAX_CSE_TEMPS,
+    PLAN_CACHE,
+    PlanCache,
+    compile_plan,
+    eliminate_common_pairs,
+    lower_single_recovery,
+)
+from .executor import execute_plan, execute_plan_scalar
+from .plan import PLAN_OPS, XorPlan, XorStep
+
+__all__ = [
+    "MAX_CSE_TEMPS",
+    "PLAN_CACHE",
+    "PLAN_OPS",
+    "PlanCache",
+    "XorPlan",
+    "XorStep",
+    "compile_plan",
+    "eliminate_common_pairs",
+    "execute_plan",
+    "execute_plan_scalar",
+    "lower_single_recovery",
+]

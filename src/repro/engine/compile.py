@@ -1,0 +1,430 @@
+"""Lower a code's parity equations into executable :class:`XorPlan`\\ s.
+
+One compiler per operation, all funneled through :func:`compile_plan`:
+
+- ``encode`` — the chains in :attr:`ArrayCode.encode_order`, one step
+  per parity cell, ``rounds`` = dependency depth;
+- ``reconstruct`` — a single erased element repaired through the first
+  usable chain (the healing layer's hot path);
+- ``recover-single`` — one whole failed disk via the Fig. 9 minimal-read
+  planner (:func:`repro.recovery.single.plan_single_disk_recovery`),
+  one independent step per lost element;
+- ``recover-double`` — two failed disks: HV uses Algorithm 1's four
+  parallel chains (kept as executor ``groups``), every other code uses
+  the generic peel schedule;
+- ``decode`` — an arbitrary erasure pattern via chain peeling.
+
+Plans that peeling cannot complete (patterns needing the Gaussian
+reference decoder) raise :class:`~repro.exceptions.PlanError`; callers
+fall back to the pure-Python oracle.
+
+After lowering, :func:`eliminate_common_pairs` runs a greedy pairwise
+common-subexpression elimination: the unordered source pair shared by
+the most steps is hoisted into a scratch temporary, repeatedly, until
+no pair occurs twice.  Only *pure inputs* (slots the plan never
+writes) participate, so hoisted temporaries are computable up front
+and the step order never needs repair.  On EVENODD this factors the
+shared S-adjuster out of every diagonal chain.
+
+Compiled plans are cached in a per-process LRU (:class:`PlanCache`)
+keyed by ``(code, p, op, pattern)`` — compilation runs once, execution
+many times.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, OrderedDict
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ..exceptions import InvalidParameterError, PlanError
+from ..recovery.peeling import peel_schedule
+from .plan import PLAN_OPS, Position, XorPlan, XorStep
+
+if TYPE_CHECKING:  # imported lazily to avoid an engine<->codes cycle
+    from ..codes.base import ArrayCode, ParityChain
+    from ..recovery.single import SingleDiskRecoveryPlan
+
+#: Scratch-slot budget for common-subexpression elimination.
+MAX_CSE_TEMPS = 64
+
+
+# -- the plan cache ---------------------------------------------------------------
+
+
+@dataclass
+class PlanCache:
+    """A bounded LRU of compiled plans, keyed by ``(code, p, op, pattern)``."""
+
+    maxsize: int = 128
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    _plans: OrderedDict = field(default_factory=OrderedDict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.maxsize <= 0:
+            raise InvalidParameterError("plan cache maxsize must be positive")
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def __contains__(self, key: tuple) -> bool:
+        return key in self._plans
+
+    def lookup(self, key: tuple) -> XorPlan | None:
+        plan = self._plans.get(key)
+        if plan is None:
+            self.misses += 1
+            return None
+        self._plans.move_to_end(key)
+        self.hits += 1
+        return plan
+
+    def store(self, key: tuple, plan: XorPlan) -> None:
+        self._plans[key] = plan
+        self._plans.move_to_end(key)
+        while len(self._plans) > self.maxsize:
+            self._plans.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        self._plans.clear()
+        self.hits = self.misses = self.evictions = 0
+
+    @property
+    def stats(self) -> dict[str, int]:
+        return {
+            "size": len(self._plans),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+
+#: The process-wide default cache :func:`compile_plan` uses.
+PLAN_CACHE = PlanCache()
+
+
+# -- the front end ----------------------------------------------------------------
+
+
+def compile_plan(
+    code: "ArrayCode",
+    op: str,
+    pattern: tuple = (),
+    *,
+    planner: str = "greedy",
+    cse: bool = True,
+    cache: PlanCache | None = PLAN_CACHE,
+) -> XorPlan:
+    """Compile (or fetch from cache) the plan for ``op`` on ``code``.
+
+    ``pattern`` is op-specific: ``()`` for encode, ``(cell,)`` for a
+    single-element reconstruct (a ``(row, col)`` position), ``(disk,)``
+    / ``(f1, f2)`` for single/double disk recovery, and an iterable of
+    erased positions for a generic decode.  ``planner`` selects the
+    single-disk read minimizer (``greedy`` is deterministic and within
+    ~1% of the MILP; pass ``milp`` for the exact Fig. 9 optimum).
+    """
+    if op not in PLAN_OPS:
+        raise PlanError(f"unknown plan op {op!r}; known: {PLAN_OPS}")
+    canonical = _canonical_pattern(code, op, pattern)
+    key = (code.name, code.p, op, canonical, planner, cse)
+    if cache is not None:
+        cached = cache.lookup(key)
+        if cached is not None:
+            return cached
+    if op == "encode":
+        plan = _compile_encode(code)
+    elif op == "reconstruct":
+        plan = _compile_reconstruct(code, canonical)
+    elif op == "recover-single":
+        plan = _compile_single(code, canonical[0], planner)
+    elif op == "recover-double":
+        plan = _compile_double(code, canonical[0], canonical[1])
+    else:
+        plan = _compile_decode(code, canonical)
+    if cse:
+        plan = eliminate_common_pairs(plan)
+    if cache is not None:
+        cache.store(key, plan)
+    return plan
+
+
+def _canonical_pattern(code: "ArrayCode", op: str, pattern: tuple) -> tuple:
+    """Normalize a pattern to the canonical cache/pin form."""
+    if op == "encode":
+        if pattern:
+            raise PlanError("encode takes no erasure pattern")
+        return ()
+    if op == "reconstruct":
+        if len(pattern) == 2 and all(isinstance(x, int) for x in pattern):
+            pattern = (pattern,)  # a bare (row, col) position
+        if len(pattern) != 1:
+            raise PlanError("reconstruct repairs exactly one cell")
+        return (_slot(code, pattern[0]),)
+    if op == "recover-single":
+        if len(pattern) != 1:
+            raise PlanError("recover-single takes one failed disk")
+        return (_disk(code, pattern[0]),)
+    if op == "recover-double":
+        if len(pattern) != 2 or pattern[0] == pattern[1]:
+            raise PlanError("recover-double takes two distinct failed disks")
+        return tuple(sorted(_disk(code, d) for d in pattern))
+    return tuple(sorted(_slot(code, cell) for cell in pattern))
+
+
+def _slot(code: "ArrayCode", cell) -> int:
+    if isinstance(cell, int):
+        if not 0 <= cell < code.rows * code.cols:
+            raise PlanError(f"cell slot {cell} outside the stripe")
+        return cell
+    r, c = cell
+    if not (0 <= r < code.rows and 0 <= c < code.cols):
+        raise PlanError(f"cell {cell} outside {code.rows}x{code.cols} grid")
+    return r * code.cols + c
+
+
+def _disk(code: "ArrayCode", disk) -> int:
+    if not isinstance(disk, int) or not 0 <= disk < code.cols:
+        raise PlanError(f"disk {disk!r} outside 0..{code.cols - 1}")
+    return disk
+
+
+# -- per-op lowering ----------------------------------------------------------------
+
+
+def _compile_encode(code: "ArrayCode") -> XorPlan:
+    slot = lambda pos: pos[0] * code.cols + pos[1]  # noqa: E731
+    steps = []
+    depth: dict[int, int] = {}
+    for chain in code.encode_order:
+        srcs = tuple(slot(m) for m in chain.members)
+        dst = slot(chain.parity)
+        steps.append(XorStep(dst=dst, srcs=srcs))
+        depth[dst] = 1 + max((depth.get(s, 0) for s in srcs), default=0)
+    return XorPlan(
+        code_name=code.name,
+        p=code.p,
+        op="encode",
+        pattern=(),
+        rows=code.rows,
+        cols=code.cols,
+        steps=tuple(steps),
+        outputs=tuple(step.dst for step in steps),
+        rounds=max(depth.values(), default=0),
+    )
+
+
+def _compile_reconstruct(code: "ArrayCode", pattern: tuple[int]) -> XorPlan:
+    slot = pattern[0]
+    pos = divmod(slot, code.cols)
+    chains = [ch for ch in code.chains if pos in ch.equation_cells]
+    if not chains:
+        raise PlanError(f"{code.name}: no parity chain covers {pos}")
+    chain = min(chains, key=lambda ch: (ch.length, ch.parity))
+    srcs = tuple(
+        sorted(c[0] * code.cols + c[1] for c in chain.equation_cells if c != pos)
+    )
+    return XorPlan(
+        code_name=code.name,
+        p=code.p,
+        op="reconstruct",
+        pattern=pattern,
+        rows=code.rows,
+        cols=code.cols,
+        steps=(XorStep(dst=slot, srcs=srcs),),
+        erased=(slot,),
+        outputs=(slot,),
+        rounds=1,
+    )
+
+
+def _compile_single(code: "ArrayCode", disk: int, planner: str) -> XorPlan:
+    from ..recovery.single import plan_single_disk_recovery
+
+    recovery = plan_single_disk_recovery(code, disk, method=planner)
+    return lower_single_recovery(code, recovery)
+
+
+def lower_single_recovery(
+    code: "ArrayCode", recovery: "SingleDiskRecoveryPlan"
+) -> XorPlan:
+    """Lower a planned single-disk recovery into a one-round plan.
+
+    Exposed separately so :meth:`SingleDiskRecoveryPlan.execute` can
+    run exactly the chain choices its planner made (which may differ
+    from the cache's default planner).
+    """
+    slot = lambda pos: pos[0] * code.cols + pos[1]  # noqa: E731
+    steps = []
+    for cell in sorted(recovery.choices):
+        chain = recovery.choices[cell]
+        srcs = tuple(sorted(slot(c) for c in chain.equation_cells if c != cell))
+        steps.append(XorStep(dst=slot(cell), srcs=srcs))
+    return XorPlan(
+        code_name=code.name,
+        p=code.p,
+        op="recover-single",
+        pattern=(recovery.failed_disk,),
+        rows=code.rows,
+        cols=code.cols,
+        steps=tuple(steps),
+        erased=tuple(step.dst for step in steps),
+        outputs=tuple(step.dst for step in steps),
+        rounds=1,
+        groups=tuple((i,) for i in range(len(steps))),
+    )
+
+
+def _compile_double(code: "ArrayCode", f1: int, f2: int) -> XorPlan:
+    if code.name == "HV":
+        return _compile_double_hv(code, f1, f2)
+    erased = [(r, d) for d in (f1, f2) for r in range(code.rows)]
+    return _peel_to_plan(code, "recover-double", (f1, f2), erased)
+
+
+def _compile_double_hv(code: "ArrayCode", f1: int, f2: int) -> XorPlan:
+    """Algorithm 1: four independent chains, preserved as plan groups."""
+    from ..core.recovery import plan_double_failure_recovery
+
+    algo = plan_double_failure_recovery(code, f1, f2)  # type: ignore[arg-type]
+    slot = lambda pos: pos[0] * code.cols + pos[1]  # noqa: E731
+    steps: list[XorStep] = []
+    groups: list[tuple[int, ...]] = []
+    for chain_steps in algo.chains:
+        indices = []
+        for pos, parity_chain in chain_steps:
+            srcs = tuple(
+                sorted(slot(c) for c in parity_chain.equation_cells if c != pos)
+            )
+            indices.append(len(steps))
+            steps.append(XorStep(dst=slot(pos), srcs=srcs))
+        groups.append(tuple(indices))
+    lost = tuple(
+        sorted(slot((r, d)) for d in (f1, f2) for r in range(code.rows))
+    )
+    return XorPlan(
+        code_name=code.name,
+        p=code.p,
+        op="recover-double",
+        pattern=(f1, f2),
+        rows=code.rows,
+        cols=code.cols,
+        steps=tuple(steps),
+        erased=lost,
+        outputs=tuple(step.dst for step in steps),
+        rounds=algo.longest_chain,
+        groups=tuple(groups),
+    )
+
+
+def _compile_decode(code: "ArrayCode", pattern: tuple[int, ...]) -> XorPlan:
+    erased = [divmod(slot, code.cols) for slot in pattern]
+    return _peel_to_plan(code, "decode", pattern, erased)
+
+
+def _peel_to_plan(
+    code: "ArrayCode",
+    op: str,
+    pattern: tuple,
+    erased: list[Position],
+) -> XorPlan:
+    schedule = peel_schedule(code.equations, erased)
+    if not schedule.complete:
+        raise PlanError(
+            f"{code.name}(p={code.p}): peeling leaves "
+            f"{sorted(schedule.stuck)} unreached — the pattern needs the "
+            "Gaussian reference decoder"
+        )
+    slot = lambda pos: pos[0] * code.cols + pos[1]  # noqa: E731
+    steps = []
+    for rnd in schedule.rounds:
+        for cell, eq_index in rnd:
+            eq = code.equations[eq_index]
+            srcs = tuple(sorted(slot(c) for c in eq if c != cell))
+            steps.append(XorStep(dst=slot(cell), srcs=srcs))
+    return XorPlan(
+        code_name=code.name,
+        p=code.p,
+        op=op,
+        pattern=pattern,
+        rows=code.rows,
+        cols=code.cols,
+        steps=tuple(steps),
+        erased=tuple(sorted(slot(c) for c in erased)),
+        outputs=tuple(step.dst for step in steps),
+        rounds=schedule.num_rounds,
+    )
+
+
+# -- common-subexpression elimination -----------------------------------------------
+
+
+def eliminate_common_pairs(plan: XorPlan, max_temps: int = MAX_CSE_TEMPS) -> XorPlan:
+    """Hoist source pairs shared by several steps into temporaries.
+
+    Greedy pairwise factoring: while some unordered pair of *pure*
+    sources (slots no step writes) appears in at least two steps'
+    source lists, replace it with a scratch slot computed once up
+    front.  Temporaries themselves become pure inputs, so nested
+    factoring (EVENODD's full S chain) falls out of the iteration.
+    The result computes exactly the same values — the differential
+    tests check byte identity — with a strictly smaller
+    :attr:`XorPlan.xors_per_word`.
+    """
+    written = {step.dst for step in plan.steps}
+    src_lists = [set(step.srcs) for step in plan.steps]
+    temp_steps: list[XorStep] = []
+    next_slot = plan.num_slots
+
+    while len(temp_steps) < max_temps:
+        counts: Counter = Counter()
+        for srcs in src_lists:
+            pure = sorted(s for s in srcs if s not in written)
+            for i, a in enumerate(pure):
+                for b in pure[i + 1 :]:
+                    counts[(a, b)] += 1
+        if not counts:
+            break
+        (a, b), best = min(
+            counts.items(), key=lambda item: (-item[1], item[0])
+        )
+        if best < 2:
+            break
+        temp = next_slot
+        next_slot += 1
+        temp_steps.append(XorStep(dst=temp, srcs=(a, b)))
+        for srcs in src_lists:
+            if a in srcs and b in srcs:
+                srcs.discard(a)
+                srcs.discard(b)
+                srcs.add(temp)
+
+    if not temp_steps:
+        return plan
+    rewritten = tuple(
+        XorStep(dst=step.dst, srcs=tuple(sorted(srcs)))
+        for step, srcs in zip(plan.steps, src_lists)
+    )
+    shift = len(temp_steps)
+    groups = tuple(
+        tuple(i + shift for i in group) for group in plan.groups
+    )
+    return XorPlan(
+        code_name=plan.code_name,
+        p=plan.p,
+        op=plan.op,
+        pattern=plan.pattern,
+        rows=plan.rows,
+        cols=plan.cols,
+        steps=tuple(temp_steps) + rewritten,
+        num_temps=plan.num_temps + len(temp_steps),
+        erased=plan.erased,
+        outputs=plan.outputs,
+        rounds=plan.rounds,
+        # Hoisted temporaries run serially before the concurrent groups.
+        groups=groups,
+        preamble=plan.preamble + shift if groups else 0,
+    )

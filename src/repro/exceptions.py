@@ -50,6 +50,18 @@ class DecodeError(ReproError):
     """
 
 
+class PlanError(DecodeError):
+    """An XOR execution plan cannot be compiled for this request.
+
+    Raised by :mod:`repro.engine` when an operation has no flat XOR
+    schedule — e.g. an erasure pattern that chain peeling alone cannot
+    reach (EVENODD's coupled adjuster under some double failures) and
+    that therefore needs the Gaussian reference decoder.  Callers that
+    pass ``engine="vector"`` fall back to the pure-Python path when
+    they catch this.
+    """
+
+
 class UnrecoverableFailureError(DecodeError):
     """More disks failed than the code tolerates (> 2 for RAID-6)."""
 

@@ -90,13 +90,17 @@ def decode_resilient(
     code: "ArrayCode",
     stripe: "Stripe",
     stats: HealingStats | None = None,
+    *,
+    engine: str = "python",
 ) -> "Stripe":
     """A fully-decoded copy of a stripe with erasures *and* UREs.
 
     Latent cells are demoted to erasures (their buffers cannot be
     trusted to be fetchable), then the standard peeling + Gaussian
-    decoder runs.  Raises :class:`UnrecoverableFaultError` when the
-    combined pattern exceeds the code.
+    decoder runs (``engine="vector"`` routes it through the compiled
+    XOR executor, see :meth:`ArrayCode.decode`).  Raises
+    :class:`UnrecoverableFaultError` when the combined pattern exceeds
+    the code.
     """
     stats = stats if stats is not None else HealingStats()
     work = stripe.copy()
@@ -112,7 +116,7 @@ def decode_resilient(
             f"({sorted(erased)}) exceed the code's capability"
         )
     try:
-        code.decode(work)
+        code.decode(work, engine=engine)
     except UnrecoverableFailureError as exc:
         raise UnrecoverableFaultError(str(exc)) from exc
     stats.escalations += 1

@@ -68,6 +68,48 @@ class SingleDiskRecoveryPlan:
     def reads_per_lost_element(self) -> float:
         return len(self.reads) / len(self.choices)
 
+    def execute(
+        self,
+        code: "ArrayCode",
+        stripe,
+        *,
+        engine: str = "vector",
+        stats=None,
+        workers: int | None = None,
+    ) -> None:
+        """Repair the failed disk of ``stripe`` in place.
+
+        Runs exactly the chain choices this planner made (which may
+        differ from the plan cache's default planner).  The default
+        ``engine="vector"`` lowers the choices into an
+        :class:`~repro.engine.XorPlan` and executes it with word-wide
+        kernels — each lost element is an independent plan group, so
+        ``workers=`` rebuilds elements concurrently; ``stats`` (an
+        :class:`~repro.array.iostats.IOStats`) accumulates the XOR-word
+        and kernel counters.  ``engine="python"`` applies the same
+        choices one chain at a time through :meth:`Stripe.xor_of`.
+        """
+        if code.name != self.code_name:
+            raise InvalidParameterError(
+                f"plan for {self.code_name} cannot run on {code.name}"
+            )
+        if engine == "vector":
+            from ..engine import execute_plan, lower_single_recovery
+
+            execute_plan(
+                lower_single_recovery(code, self), stripe,
+                stats=stats, workers=workers,
+            )
+            return
+        if engine != "python":
+            raise InvalidParameterError(
+                f"unknown engine {engine!r}; expected 'python' or 'vector'"
+            )
+        for cell in sorted(self.choices):
+            chain = self.choices[cell]
+            others = [c for c in chain.equation_cells if c != cell]
+            stripe.set(cell, stripe.xor_of(others))
+
 
 @dataclass
 class DegradedReadPlan:

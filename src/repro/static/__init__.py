@@ -31,7 +31,13 @@ from .lint import (
     lint_paths,
     select_rules,
 )
-from .pins import PINNED_CERTIFICATE_HASHES, check_pins
+from .pins import (
+    PINNED_CERTIFICATE_HASHES,
+    PINNED_PLAN_HASHES,
+    check_pins,
+    check_plan_pins,
+    pinned_plans,
+)
 from .rules import ALL_RULES, RULES_BY_ID, LintRule, LintViolation
 
 __all__ = [
@@ -50,7 +56,10 @@ __all__ = [
     "lint_paths",
     "select_rules",
     "PINNED_CERTIFICATE_HASHES",
+    "PINNED_PLAN_HASHES",
     "check_pins",
+    "check_plan_pins",
+    "pinned_plans",
     "ALL_RULES",
     "RULES_BY_ID",
     "LintRule",

@@ -45,6 +45,70 @@ PINNED_CERTIFICATE_HASHES: dict[str, str] = {
 }
 
 
+#: ``plan.key -> sha256`` for the engine's compiled-plan smoke set: the
+#: HV schedules the paper's algorithms pin down (encode, Fig. 9
+#: single-disk recovery of disk 0, Algorithm 1 double recovery of
+#: disks 0+1) at the evaluation primes.  Plans are compiled with the
+#: default deterministic ``greedy`` planner and CSE on; a changed hash
+#: means the *schedule* drifted — chain layout, planner decision, or
+#: CSE ordering — even if the decoded bytes stay correct.  Regenerate
+#: with ``python -m repro.cli certify --smoke`` after a deliberate
+#: change.
+PINNED_PLAN_HASHES: dict[str, str] = {
+    "HV@5:encode": "491fa0ef79c56b32cecb2c2312acb91b2d691c887470525ff29b8130e3324db9",
+    "HV@5:recover-single:d0": "4cb0cb01e60697e04a59de9476c105960222f8014d734f5abf875fe8838a90e2",
+    "HV@5:recover-double:d0d1": "85e74921406967f824fd7fcae87825282b0a58bd4f6b02ff7c996236275e8879",
+    "HV@7:encode": "3f983722179df1264843a33f24487f9a7693d39f2189cfce15b8ac847f4a0ab3",
+    "HV@7:recover-single:d0": "1132e936a082839fc4a96320d9b59cf76bf74021861c2bcb0fe3d9172e2a363d",
+    "HV@7:recover-double:d0d1": "73dcd0e529d42a6ee1540f8fe2076eefb23e318a55f051d36368c91453beab1f",
+    "HV@11:encode": "24c95f05097cb69e485040860a39dc03f4daff3935ce5b6ab83e3ff332a79510",
+    "HV@11:recover-single:d0": "852d03fa4445ea6a72698be284314de048e862d0b4ee785e0ee7ae461b2b097e",
+    "HV@11:recover-double:d0d1": "122494fc2afad8e2f885eddcf7e0d17fdbc801a44683f235e0d935a86fe3d543",
+}
+
+
+def pinned_plans():
+    """Compile every pinned plan fresh; yields :class:`XorPlan` objects.
+
+    Uses a private cache so a poisoned process-wide plan cache cannot
+    mask drift.
+    """
+    from ..codes.registry import get_code
+    from ..engine.compile import PlanCache, compile_plan
+
+    cache = PlanCache()
+    ops = {
+        "encode": (),
+        "recover-single": (0,),
+        "recover-double": (0, 1),
+    }
+    for p in (5, 7, 11):
+        code = get_code("HV", p)
+        for op, pattern in ops.items():
+            yield compile_plan(code, op, pattern, cache=cache)
+
+
+def check_plan_pins(plans=None) -> None:
+    """Verify compiled-plan hashes against :data:`PINNED_PLAN_HASHES`.
+
+    Raises :class:`~repro.exceptions.CertificationError` on the first
+    mismatch or unpinned plan.  With no argument, compiles and checks
+    the full pinned set.
+    """
+    for plan in plans if plans is not None else pinned_plans():
+        pinned = PINNED_PLAN_HASHES.get(plan.key)
+        if pinned is None:
+            raise CertificationError(
+                f"{plan.key}: no pinned plan hash; add "
+                f"{plan.plan_hash} to repro.static.pins"
+            )
+        if pinned != plan.plan_hash:
+            raise CertificationError(
+                f"{plan.key}: plan hash {plan.plan_hash} does not match "
+                f"pinned {pinned} — the compiled schedule drifted"
+            )
+
+
 def check_pins(certificates) -> None:
     """Verify certificates against the pin table.
 

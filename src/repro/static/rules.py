@@ -1,4 +1,4 @@
-"""The repo-specific lint rule catalogue (R001-R005).
+"""The repo-specific lint rule catalogue (R001-R006).
 
 Each rule is an :class:`ast`-level check with a stable identifier,
 applied per file by :mod:`repro.static.lint`.  The rules encode
@@ -18,6 +18,10 @@ at the source level:
 - **R005** — :class:`~repro.codes.base.ParityChain` is constructed
   only inside ``_build_chains`` implementations, so every layout is
   validated by the :attr:`~repro.codes.base.ArrayCode.chains` walk.
+- **R006** — no per-word Python XOR loops inside :mod:`repro.engine`:
+  the engine exists to run word-wide kernels, so a ``for i in
+  range(...)`` whose body XORs subscripted elements is a performance
+  bug there (the deliberate scalar oracle carries a waiver).
 
 A violating line can be waived with a trailing ``# noqa: RXXX``
 comment (or a bare ``# noqa`` to waive every rule on the line).
@@ -382,6 +386,55 @@ class ChainConstructionRule(LintRule):
         return out
 
 
+class PerWordLoopRule(LintRule):
+    """R006: no per-word Python XOR loops inside ``repro.engine``."""
+
+    rule_id = "R006"
+    summary = "per-word Python XOR loop inside repro.engine (use word-wide kernels)"
+
+    SCOPED_PREFIXES = ("repro.engine",)
+
+    def _is_subscript_xor(self, node: ast.AST) -> bool:
+        if (
+            isinstance(node, ast.AugAssign)
+            and isinstance(node.op, ast.BitXor)
+            and isinstance(node.target, ast.Subscript)
+        ):
+            return True
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitXor):
+            return isinstance(node.left, ast.Subscript) or isinstance(
+                node.right, ast.Subscript
+            )
+        return False
+
+    def check(self, ctx: FileContext) -> list[LintViolation]:
+        scoped = any(
+            ctx.module == prefix or ctx.module.startswith(prefix + ".")
+            for prefix in self.SCOPED_PREFIXES
+        )
+        if not scoped:
+            return []
+        out: list[LintViolation] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.For):
+                continue
+            if not (
+                isinstance(node.iter, ast.Call)
+                and ctx.resolve_call(node.iter.func) == "range"
+            ):
+                continue
+            if any(self._is_subscript_xor(inner) for inner in ast.walk(node)):
+                out.append(
+                    self.violation(
+                        ctx,
+                        node,
+                        "per-word XOR loop in engine code; issue one "
+                        "word-wide numpy kernel instead",
+                    )
+                )
+        return out
+
+
 #: The catalogue, in rule-id order.
 ALL_RULES: tuple[LintRule, ...] = (
     UnseededRandomRule(),
@@ -389,6 +442,7 @@ ALL_RULES: tuple[LintRule, ...] = (
     ExceptionHierarchyRule(),
     MutableDefaultRule(),
     ChainConstructionRule(),
+    PerWordLoopRule(),
 )
 
 RULES_BY_ID: dict[str, LintRule] = {rule.rule_id: rule for rule in ALL_RULES}

@@ -67,3 +67,31 @@ class TestCombination:
         a.record_read(1, 7)
         a.reset()
         assert a.total_requests == 0
+
+
+class TestComputeCounters:
+    def test_record_xor_accumulates(self):
+        s = IOStats(3)
+        s.record_xor(128)
+        s.record_xor(64, kernels=4)
+        assert s.xor_words == 192
+        assert s.kernel_invocations == 5
+
+    def test_rejects_negative_compute(self):
+        s = IOStats(1)
+        with pytest.raises(InvalidParameterError):
+            s.record_xor(-1)
+        with pytest.raises(InvalidParameterError):
+            s.record_xor(1, kernels=-1)
+
+    def test_merge_copy_reset_cover_compute(self):
+        a, b = IOStats(2), IOStats(2)
+        a.record_xor(10, 2)
+        b.record_xor(5)
+        a.merge(b)
+        assert (a.xor_words, a.kernel_invocations) == (15, 3)
+        dup = a.copy()
+        dup.record_xor(1)
+        assert a.xor_words == 15
+        a.reset()
+        assert (a.xor_words, a.kernel_invocations) == (0, 0)

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.array.stripe import Stripe
+from repro.array.stripe import Stripe, StripeBatch
 from repro.exceptions import InvalidParameterError, SimulationError
 
 
@@ -109,3 +109,80 @@ class TestHelpers:
         assert a == b
         b.erase((0, 0))
         assert a != b
+
+
+class TestWordViews:
+    def test_flat_view_is_slot_ordered_and_shared(self):
+        s = Stripe(2, 3, 4)
+        s.set((1, 2), np.array([1, 2, 3, 4], dtype=np.uint8))
+        flat = s.flat_view()
+        assert flat.shape == (6, 4)
+        assert list(flat[1 * 3 + 2]) == [1, 2, 3, 4]
+        flat[0, 0] = 0xAB
+        assert s.get((0, 0))[0] == 0xAB  # a view, not a copy
+
+    def test_as_words_reinterprets_in_place(self):
+        s = Stripe(1, 2, 16)
+        s.set((0, 1), np.arange(16, dtype=np.uint8))
+        words = s.as_words()
+        assert words.shape == (2, 2)
+        assert words.dtype == np.uint64
+        words[0, 0] = 0xFFFF
+        assert s.get((0, 0))[0] == 0xFF
+
+    def test_as_words_rejects_unaligned_elements(self):
+        with pytest.raises(InvalidParameterError):
+            Stripe(1, 1, 7).as_words()
+        assert Stripe(1, 1, 8).words_per_element == 1
+
+    def test_flat_column_is_a_disk_view(self):
+        s = Stripe(3, 4, 2)
+        s.set((2, 1), np.array([7, 9], dtype=np.uint8))
+        col = s.flat_column(1)
+        assert col.shape == (3, 2)
+        assert list(col[2]) == [7, 9]
+        with pytest.raises(InvalidParameterError):
+            s.flat_column(4)
+
+
+class TestStripeBatch:
+    def _stripes(self, n=3):
+        out = []
+        for i in range(n):
+            s = Stripe(2, 3, 8)
+            s.fill_random([(r, c) for r in range(2) for c in range(3)], seed=i)
+            out.append(s)
+        return out
+
+    def test_from_stripes_roundtrip(self):
+        stripes = self._stripes()
+        stripes[1].erase((0, 2))
+        stripes[2].mark_latent((1, 0))
+        batch = StripeBatch.from_stripes(stripes)
+        assert len(batch) == 3
+        for i, original in enumerate(stripes):
+            assert batch.stripe(i) == original
+
+    def test_lane_views_share_batch_memory(self):
+        batch = StripeBatch.from_stripes(self._stripes())
+        lane = batch.stripe(1)
+        lane.set((0, 0), np.full(8, 0x5A, dtype=np.uint8))
+        assert batch.data[1, 0, 0, 0] == 0x5A
+
+    def test_word_views(self):
+        batch = StripeBatch.from_stripes(self._stripes())
+        assert batch.flat_view().shape == (3, 6, 8)
+        words = batch.as_words()
+        assert words.shape == (3, 6, 1)
+        assert words.dtype == np.uint64
+        assert np.shares_memory(words, batch.data)
+
+    def test_rejects_mismatched_geometry(self):
+        a = Stripe(2, 3, 8)
+        b = Stripe(2, 4, 8)
+        with pytest.raises(InvalidParameterError):
+            StripeBatch.from_stripes([a, b])
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidParameterError):
+            StripeBatch.from_stripes([])

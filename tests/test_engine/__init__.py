@@ -1,0 +1,1 @@
+"""Tests for repro.engine: the plan compiler and vectorized executor."""

@@ -1,0 +1,220 @@
+"""The plan compiler: per-op lowering, CSE, and the LRU plan cache."""
+
+import pytest
+
+from repro.codes.registry import available_codes, get_code
+from repro.engine import (
+    MAX_CSE_TEMPS,
+    PLAN_CACHE,
+    PlanCache,
+    XorPlan,
+    XorStep,
+    compile_plan,
+    eliminate_common_pairs,
+)
+from repro.exceptions import InvalidParameterError, PlanError
+
+XOR_CODES = [n for n in available_codes() if n != "Cauchy-RS"]
+
+
+@pytest.fixture()
+def cache():
+    return PlanCache(maxsize=8)
+
+
+class TestCompileEncode:
+    @pytest.mark.parametrize("name", available_codes())
+    @pytest.mark.parametrize("p", [5, 7])
+    def test_every_code_compiles_a_valid_encode_plan(self, name, p, cache):
+        code = get_code(name, p)
+        plan = compile_plan(code, "encode", cache=cache)
+        plan.validate()
+        assert plan.op == "encode"
+        assert set(plan.outputs) == {
+            r * code.cols + c for (r, c) in code.parity_positions
+        }
+        assert plan.rounds >= 1
+
+    def test_encode_rounds_is_dependency_depth(self):
+        # RDP's diagonal parity reads the row-parity column, so encode
+        # cannot be a single parallel round; HV's two parities are
+        # independent and stay at depth one.
+        assert compile_plan(get_code("RDP", 7), "encode", cache=None).rounds == 2
+        assert compile_plan(get_code("HV", 7), "encode", cache=None).rounds == 1
+
+
+class TestCompileRecovery:
+    @pytest.mark.parametrize("name", XOR_CODES)
+    def test_single_disk_plans_are_one_round(self, name, cache):
+        code = get_code(name, 7)
+        for disk in range(code.cols):
+            plan = compile_plan(code, "recover-single", (disk,), cache=cache)
+            assert plan.rounds == 1
+            assert len(plan.outputs) == code.rows
+            # every lost element is an independent group
+            assert len(plan.groups) == len(plan.steps) - plan.preamble
+
+    def test_hv_double_recovery_keeps_four_chains(self):
+        code = get_code("HV", 7)
+        plan = compile_plan(code, "recover-double", (0, 1), cache=None, cse=False)
+        assert len(plan.groups) == 4
+        assert plan.rounds == max(len(g) for g in plan.groups)
+
+    def test_double_recovery_pattern_is_order_insensitive(self, cache):
+        code = get_code("HV", 5)
+        a = compile_plan(code, "recover-double", (3, 1), cache=cache)
+        b = compile_plan(code, "recover-double", (1, 3), cache=cache)
+        assert a is b  # canonicalized to the same cache entry
+
+    def test_reconstruct_accepts_bare_position(self, cache):
+        code = get_code("RDP", 5)
+        plan = compile_plan(code, "reconstruct", (0, 0), cache=cache)
+        assert plan.outputs == (0,)
+        assert len(plan.steps) == 1
+
+    def test_gaussian_only_patterns_raise_plan_error(self):
+        # EVENODD double failures that need the coupled S adjuster have
+        # no flat XOR schedule.
+        code = get_code("EVENODD", 5)
+        stuck = []
+        for f1 in range(code.cols):
+            for f2 in range(f1 + 1, code.cols):
+                try:
+                    compile_plan(code, "recover-double", (f1, f2), cache=None)
+                except PlanError:
+                    stuck.append((f1, f2))
+        assert stuck  # the adjuster patterns exist...
+        ok_pairs = code.cols * (code.cols - 1) // 2 - len(stuck)
+        assert ok_pairs > 0  # ...but plenty of pairs still compile
+
+    def test_rejects_malformed_patterns(self):
+        code = get_code("HV", 5)
+        with pytest.raises(PlanError):
+            compile_plan(code, "encode", (0,), cache=None)
+        with pytest.raises(PlanError):
+            compile_plan(code, "recover-double", (2, 2), cache=None)
+        with pytest.raises(PlanError):
+            compile_plan(code, "recover-single", (99,), cache=None)
+        with pytest.raises(PlanError):
+            compile_plan(code, "bogus-op", cache=None)
+
+
+class TestCSE:
+    def _plan(self, steps, cols=4, **kwargs):
+        return XorPlan(
+            code_name="T",
+            p=5,
+            op="encode",
+            pattern=(),
+            rows=2,
+            cols=cols,
+            steps=tuple(steps),
+            **kwargs,
+        )
+
+    def test_hoists_a_repeated_pair(self):
+        plan = self._plan(
+            [
+                XorStep(6, (0, 1, 2)),
+                XorStep(7, (0, 1, 3)),
+            ],
+            outputs=(6, 7),
+        )
+        out = eliminate_common_pairs(plan)
+        assert out.num_temps == 1
+        temp = out.num_cells
+        assert out.steps[0] == XorStep(temp, (0, 1))
+        assert out.steps[1].srcs == (2, temp)
+        assert out.steps[2].srcs == (3, temp)
+        assert out.xors_per_word < plan.xors_per_word
+
+    def test_noop_when_nothing_repeats(self):
+        plan = self._plan([XorStep(6, (0, 1)), XorStep(7, (2, 3))])
+        assert eliminate_common_pairs(plan) is plan
+
+    def test_respects_temp_budget(self):
+        plan = self._plan(
+            [
+                XorStep(6, (0, 1, 2)),
+                XorStep(7, (0, 1, 3)),
+            ],
+            outputs=(6, 7),
+        )
+        assert eliminate_common_pairs(plan, max_temps=0) is plan
+        assert MAX_CSE_TEMPS > 0
+
+    def test_preserves_groups_with_preamble(self):
+        plan = self._plan(
+            [
+                XorStep(6, (0, 1, 2)),
+                XorStep(7, (0, 1, 3)),
+            ],
+            outputs=(6, 7),
+            groups=((0,), (1,)),
+        )
+        out = eliminate_common_pairs(plan)
+        assert out.num_temps == 1
+        assert out.preamble == 1  # the hoisted temp runs first
+        assert out.groups == ((1,), (2,))
+        out.validate()
+
+    def test_cse_output_stays_topological_for_every_code(self):
+        for name in XOR_CODES:
+            code = get_code(name, 7)
+            plan = compile_plan(code, "encode", cache=None, cse=True)
+            plan.validate()
+
+    def test_evenodd_factors_the_adjuster(self):
+        # Every EVENODD diagonal chain XORs the same S diagonal; CSE
+        # must collapse that shared suffix into one temp.
+        code = get_code("EVENODD", 7)
+        raw = compile_plan(code, "encode", cache=None, cse=False)
+        opt = compile_plan(code, "encode", cache=None, cse=True)
+        assert opt.num_temps >= 1
+        assert opt.xors_per_word < raw.xors_per_word
+
+
+class TestPlanCache:
+    def test_hit_returns_same_object(self, cache):
+        code = get_code("HV", 5)
+        a = compile_plan(code, "encode", cache=cache)
+        b = compile_plan(code, "encode", cache=cache)
+        assert a is b
+        assert cache.stats["hits"] == 1
+        assert cache.stats["misses"] == 1
+
+    def test_distinct_keys_do_not_collide(self, cache):
+        hv = get_code("HV", 5)
+        rdp = get_code("RDP", 5)
+        a = compile_plan(hv, "encode", cache=cache)
+        b = compile_plan(rdp, "encode", cache=cache)
+        c = compile_plan(hv, "encode", cache=cache, cse=False)
+        assert len({id(a), id(b), id(c)}) == 3
+
+    def test_lru_eviction(self):
+        cache = PlanCache(maxsize=2)
+        code = get_code("HV", 5)
+        compile_plan(code, "recover-single", (0,), cache=cache)
+        compile_plan(code, "recover-single", (1,), cache=cache)
+        compile_plan(code, "recover-single", (0,), cache=cache)  # refresh 0
+        compile_plan(code, "recover-single", (2,), cache=cache)  # evicts 1
+        assert cache.stats["evictions"] == 1
+        assert ("HV", 5, "recover-single", (0,), "greedy", True) in cache
+        assert ("HV", 5, "recover-single", (1,), "greedy", True) not in cache
+
+    def test_clear_resets_counters(self, cache):
+        code = get_code("HV", 5)
+        compile_plan(code, "encode", cache=cache)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats == {"size": 0, "hits": 0, "misses": 0, "evictions": 0}
+
+    def test_rejects_nonpositive_maxsize(self):
+        with pytest.raises(InvalidParameterError):
+            PlanCache(maxsize=0)
+
+    def test_cache_none_bypasses_the_default(self):
+        code = get_code("HV", 5)
+        before = PLAN_CACHE.stats["misses"]
+        compile_plan(code, "encode", cache=None)
+        assert PLAN_CACHE.stats["misses"] == before

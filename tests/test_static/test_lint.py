@@ -1,4 +1,4 @@
-"""Tests for the repo linter (rules R001-R005)."""
+"""Tests for the repo linter (rules R001-R006)."""
 
 import textwrap
 
@@ -232,6 +232,70 @@ class TestR005ChainConstruction:
         assert violations == ()
 
 
+class TestR006PerWordLoop:
+    LOOP_SNIPPET = """
+        def xor_words(dst, src):
+            for i in range(len(dst)):
+                dst[i] ^= src[i]
+        """
+
+    def _engine_pkg(self, tmp_path):
+        pkg = tmp_path / "repro"
+        (pkg / "engine").mkdir(parents=True)
+        (pkg / "__init__.py").write_text("")
+        (pkg / "engine" / "__init__.py").write_text("")
+
+    def test_flags_per_word_loop_in_engine_module(self, tmp_path):
+        self._engine_pkg(tmp_path)
+        violations = lint_source(
+            tmp_path, self.LOOP_SNIPPET, name="repro/engine/slow.py"
+        )
+        assert [v.rule for v in violations] == ["R006"]
+        assert "word-wide" in violations[0].message
+
+    def test_ignores_per_word_loop_outside_engine(self, tmp_path):
+        violations = lint_source(tmp_path, self.LOOP_SNIPPET)
+        assert violations == ()
+
+    def test_ignores_non_xor_loops_in_engine(self, tmp_path):
+        self._engine_pkg(tmp_path)
+        violations = lint_source(
+            tmp_path,
+            """
+            def total(steps):
+                acc = 0
+                for i in range(len(steps)):
+                    acc += steps[i].cost
+                return acc
+            """,
+            name="repro/engine/fine.py",
+        )
+        assert violations == ()
+
+    def test_noqa_waives_the_scalar_oracle(self, tmp_path):
+        self._engine_pkg(tmp_path)
+        violations = lint_source(
+            tmp_path,
+            """
+            def oracle(dst, src):
+                for i in range(len(dst)):  # noqa: R006
+                    dst[i] ^= src[i]
+            """,
+            name="repro/engine/oracle.py",
+        )
+        assert violations == ()
+
+    def test_shipped_engine_package_is_clean(self):
+        from repro import engine
+
+        from pathlib import Path
+
+        report = lint_paths(
+            [Path(engine.__file__).parent], rule_ids=["R006"]
+        )
+        assert report.clean
+
+
 class TestWaivers:
     def test_noqa_with_rule_id_waives(self, tmp_path):
         violations = lint_source(
@@ -304,9 +368,11 @@ class TestDriver:
 
     def test_catalogue_is_complete(self):
         assert [r.rule_id for r in ALL_RULES] == [
-            "R001", "R002", "R003", "R004", "R005",
+            "R001", "R002", "R003", "R004", "R005", "R006",
         ]
-        assert set(RULES_BY_ID) == {"R001", "R002", "R003", "R004", "R005"}
+        assert set(RULES_BY_ID) == {
+            "R001", "R002", "R003", "R004", "R005", "R006",
+        }
 
     def test_report_json_shape(self, tmp_path):
         target = tmp_path / "dirty.py"

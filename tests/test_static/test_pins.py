@@ -1,11 +1,16 @@
-"""The pinned certificate hashes are a layout regression tripwire."""
+"""The pinned certificate and plan hashes are regression tripwires."""
+
+import dataclasses
 
 import pytest
 
 from repro.exceptions import CertificationError
 from repro.static import (
     PINNED_CERTIFICATE_HASHES,
+    PINNED_PLAN_HASHES,
     check_pins,
+    check_plan_pins,
+    pinned_plans,
     smoke_certificates,
 )
 
@@ -13,6 +18,11 @@ from repro.static import (
 @pytest.fixture(scope="module")
 def smoke():
     return smoke_certificates()
+
+
+@pytest.fixture(scope="module")
+def plans():
+    return list(pinned_plans())
 
 
 class TestPins:
@@ -39,15 +49,42 @@ class TestPins:
             cert.require_claims()
 
     def test_check_pins_rejects_unpinned(self, smoke):
-        import dataclasses
-
         ghost = dataclasses.replace(smoke[0], code="Ghost")
         with pytest.raises(CertificationError, match="no pinned"):
             check_pins([ghost])
 
     def test_check_pins_rejects_drift(self, smoke):
-        import dataclasses
-
         drifted = dataclasses.replace(smoke[0], parity_load=(9, 9, 9, 9))
         with pytest.raises(CertificationError, match="does not match"):
             check_pins([drifted])
+
+
+class TestPlanPins:
+    def test_every_pinned_plan_is_compiled(self, plans):
+        assert {p.key for p in plans} == set(PINNED_PLAN_HASHES)
+
+    def test_plan_hashes_match_pins(self, plans):
+        """Any drift in a compiled HV schedule fails here.
+
+        If the change is intentional (a planner improvement, a CSE
+        reordering), regenerate with ``python -m repro.cli certify
+        --smoke`` and update ``PINNED_PLAN_HASHES``.
+        """
+        mismatches = {
+            p.key: (p.plan_hash, PINNED_PLAN_HASHES.get(p.key))
+            for p in plans
+            if p.plan_hash != PINNED_PLAN_HASHES.get(p.key)
+        }
+        assert not mismatches, f"plan drift: {mismatches}"
+        check_plan_pins(plans)  # the CI-gate entry point
+        check_plan_pins()  # and the compile-fresh default path
+
+    def test_check_plan_pins_rejects_unpinned(self, plans):
+        ghost = dataclasses.replace(plans[0], code_name="Ghost")
+        with pytest.raises(CertificationError, match="no pinned"):
+            check_plan_pins([ghost])
+
+    def test_check_plan_pins_rejects_drift(self, plans):
+        drifted = dataclasses.replace(plans[0], rounds=plans[0].rounds + 1)
+        with pytest.raises(CertificationError, match="drifted"):
+            check_plan_pins([drifted])
