@@ -18,19 +18,22 @@ disks behind an 800 MB/s fiber link).  It provides:
 
 from .latency import LatencyModel
 from .iostats import IOStats
-from .stripe import Stripe
+from .stripe import Stripe, StripeBatch
 from .disk import SimulatedDisk
 from .addressing import VolumeAddressing
 from .raid import RAID6Volume, PatternResult
 from .filestore import FileStore
+from .stripe_cache import StripeCache
 
 __all__ = [
     "LatencyModel",
     "IOStats",
     "Stripe",
+    "StripeBatch",
     "SimulatedDisk",
     "VolumeAddressing",
     "RAID6Volume",
     "PatternResult",
     "FileStore",
+    "StripeCache",
 ]

@@ -13,32 +13,59 @@ and honours disk failures the way an array does:
   data even though its disk is gone;
 - **rebuild** decodes every stripe to bring a replaced disk back.
 
+Writes touching several elements of one stripe update parity **once
+per stripe**, not once per element: the deltas of all touched elements
+are folded down each parity chain in a single pass
+(:meth:`ArrayCode.update_elements`).
+
+With ``cache_stripes > 0`` the store runs **write-back**: data bytes
+land in the stripe immediately (reads stay coherent) but the parity
+update is deferred in a :class:`~repro.array.stripe_cache.StripeCache`
+— a bounded LRU of dirty-element bitmaps plus first-touch pre-image
+snapshots.  :meth:`flush` (or LRU eviction, or any operation that
+needs consistent parity — disk failure, scrub, rebuild, degraded
+read) computes ``old ⊕ new`` deltas, groups dirty stripes sharing a
+dirty pattern into one :class:`~repro.array.stripe.StripeBatch`, and
+executes a single compiled ``update`` plan per pattern
+(:func:`repro.engine.compile.compile_plan`), falling back to a full
+re-encode when the cost model says the stripe is mostly dirty
+(:func:`repro.engine.compile.choose_update_strategy`).  CRC sidecars
+are refreshed once per flushed element, not once per overwrite.  The
+store is a context manager; leaving the ``with`` block flushes.
+
 Every element carries a CRC32 sidecar entry
 (:class:`~repro.faults.checksum.ChecksumSidecar`) so silent corruption
 is detectable, and an optional :class:`~repro.faults.injector.
 FaultInjector` can be attached to fire scheduled faults as element I/O
-streams through.  Reads self-heal: an element hit by a latent sector
-error (URE) is transparently rebuilt through a parity chain, escalating
-to the full decoder when chains are poisoned (see
-:mod:`repro.faults.healing`).
+streams through (mutually exclusive with the write-back cache — a
+deferred parity update cannot honour per-element fault windows).
+Reads self-heal: an element hit by a latent sector error (URE) is
+transparently rebuilt through a parity chain, escalating to the full
+decoder when chains are poisoned (see :mod:`repro.faults.healing`).
 
 Used by ``examples/file_storage_demo.py``, the fault-injection demo,
-and the end-to-end tests.
+the write-path benchmark (``repro bench-write``), and the end-to-end
+tests.
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+import numpy as np
+
 from ..exceptions import (
     ChecksumMismatchError,
     InvalidParameterError,
+    PlanError,
     TransientIOError,
     UnrecoverableFailureError,
 )
 from ..faults.checksum import ChecksumSidecar, crc_of
 from ..faults.healing import HealingStats, decode_resilient, recover_element
-from .stripe import Stripe
+from .iostats import IOStats
+from .stripe import Stripe, StripeBatch
+from .stripe_cache import DirtyStripe, StripeCache
 
 if TYPE_CHECKING:  # imported lazily to avoid a codes<->array cycle
     from ..codes.base import ArrayCode
@@ -46,6 +73,10 @@ if TYPE_CHECKING:  # imported lazily to avoid a codes<->array cycle
     from ..faults.injector import FaultInjector
 
 Position = tuple[int, int]
+
+#: One piece of a write landing in a single element:
+#: ``(position, byte offset within the element, payload view)``.
+Piece = tuple[Position, int, memoryview]
 
 
 class FileStore:
@@ -57,6 +88,7 @@ class FileStore:
         element_size: int = 4096,
         injector: "FaultInjector" | None = None,
         engine: str = "python",
+        cache_stripes: int = 0,
     ) -> None:
         if element_size <= 0:
             raise InvalidParameterError("element_size must be positive")
@@ -64,34 +96,57 @@ class FileStore:
             raise InvalidParameterError(
                 f"unknown engine {engine!r}; expected 'python' or 'vector'"
             )
+        if cache_stripes < 0:
+            raise InvalidParameterError("cache_stripes must be >= 0")
+        if cache_stripes and injector is not None:
+            raise InvalidParameterError(
+                "a write-back cache cannot be combined with a fault "
+                "injector: deferred parity updates would bypass the "
+                "injector's per-element fault windows"
+            )
         self.code = code
         self.element_size = element_size
         self.engine = engine
+        self._eps = code.data_elements_per_stripe  # hot-path copy
         self.stripes: list[Stripe] = []
         self.failed_disks: set[int] = set()
         self.sidecar = ChecksumSidecar(code.rows, code.cols)
         self.injector = injector
         self.healing = HealingStats()
+        self.stats = IOStats(code.cols)
+        self.cache = StripeCache(cache_stripes) if cache_stripes else None
+        #: logical data elements written (payload landing, not parity)
+        self.data_writes = 0
+        #: parity elements physically rewritten (the RMW overhead)
+        self.parity_writes = 0
         if injector is not None:
             injector.attach(self)
+
+    # -- context manager: leaving the block flushes deferred parity --------------
+
+    def __enter__(self) -> "FileStore":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.flush()
 
     # -- geometry --------------------------------------------------------------
 
     @property
     def elements_per_stripe(self) -> int:
-        return self.code.data_elements_per_stripe
+        return self._eps
 
     @property
     def bytes_per_stripe(self) -> int:
-        return self.elements_per_stripe * self.element_size
+        return self._eps * self.element_size
 
     @property
     def capacity(self) -> int:
         """Bytes currently addressable (grows on write)."""
-        return len(self.stripes) * self.bytes_per_stripe
+        return len(self.stripes) * self._eps * self.element_size
 
     def _locate(self, element_index: int) -> tuple[int, Position]:
-        stripe_idx, offset = divmod(element_index, self.elements_per_stripe)
+        stripe_idx, offset = divmod(element_index, self._eps)
         return stripe_idx, self.code.data_positions[offset]
 
     def _ensure_capacity(self, end_byte: int) -> None:
@@ -134,6 +189,10 @@ class FileStore:
             raise UnrecoverableFailureError(
                 "a third concurrent disk failure exceeds RAID-6"
             )
+        # Deferred parity must land while every column is still present;
+        # after the erasure the cached pre-images would describe cells
+        # the decoder can no longer see consistently.
+        self.flush()
         self.failed_disks.add(disk)
         for stripe in self.stripes:
             stripe.erase_disks([disk])
@@ -149,6 +208,7 @@ class FileStore:
         """
         if disk not in self.failed_disks:
             raise InvalidParameterError(f"disk {disk} is not failed")
+        self.flush()
         for idx, stripe in enumerate(self.stripes):
             restored = self._reconstructed(stripe)
             for r in range(self.code.rows):
@@ -166,6 +226,7 @@ class FileStore:
         """Verify parity of every healthy stripe; return bad indices."""
         if self.failed_disks:
             raise InvalidParameterError("scrub requires a healthy array")
+        self.flush()
         return [
             idx
             for idx, stripe in enumerate(self.stripes)
@@ -180,6 +241,7 @@ class FileStore:
         """
         from ..faults.checksum import scrub_store
 
+        self.flush()
         return scrub_store(self, repair=repair)
 
     def _reconstructed(self, stripe: Stripe) -> Stripe:
@@ -211,7 +273,15 @@ class FileStore:
             stripe_idx, pos = self._locate(element_index)
             chunk = min(remaining, self.element_size - within)
             stripe = self.stripes[stripe_idx]
+            if (
+                self.cache is not None
+                and stripe_idx in self.cache
+                and not stripe.readable(pos)
+            ):
+                # Parity-based recovery needs the deferred deltas in.
+                self._flush_stripe(stripe_idx)
             served = self._element_io(stripe_idx, pos, "read")
+            self.stats.record_read(pos[1])
             if stripe.readable(pos) and served:
                 buf = stripe.get(pos)
             elif stripe_idx in decoded_cache:
@@ -235,51 +305,268 @@ class FileStore:
         if not data:
             return
         self._ensure_capacity(offset + len(data))
-        cursor = offset
         view = memoryview(data)
+        element_index, within = divmod(offset, self.element_size)
+        if within + len(data) <= self.element_size:
+            # Sub-element write, the small-write hot path: no grouping
+            # pass needed.
+            stripe_idx, pos = self._locate(element_index)
+            self._write_stripe(stripe_idx, [(pos, within, view)])
+            return
+        by_stripe: dict[int, list[Piece]] = {}
+        cursor = offset
         consumed = 0
         while consumed < len(data):
             element_index, within = divmod(cursor, self.element_size)
             stripe_idx, pos = self._locate(element_index)
             chunk = min(len(data) - consumed, self.element_size - within)
-            self._write_element(
-                stripe_idx, pos, within, view[consumed : consumed + chunk]
+            by_stripe.setdefault(stripe_idx, []).append(
+                (pos, within, view[consumed : consumed + chunk])
             )
             cursor += chunk
             consumed += chunk
+        for stripe_idx, pieces in by_stripe.items():
+            self._write_stripe(stripe_idx, pieces)
 
-    def _write_element(
-        self, stripe_idx: int, pos: Position, within: int, piece: memoryview
-    ) -> None:
+    # -- the write path, one stripe at a time -------------------------------------
+
+    def _write_stripe(self, stripe_idx: int, pieces: list[Piece]) -> None:
         stripe = self.stripes[stripe_idx]
-        self._element_io(stripe_idx, pos, "write")
-        if not stripe.erased.any() and not stripe.latent.any():
-            old = stripe.get(pos)
-            new = old.copy()
-            new[within : within + len(piece)] = bytearray(piece)
-            rewritten = self.code.update_element(stripe, pos, new)
-            self.sidecar.record(stripe_idx, pos, new)
-            for parity in rewritten:
-                self.sidecar.record(stripe_idx, parity, stripe.get(parity))
-            return
-        # Degraded stripe: reconstruct-write.  Apply the update on a
-        # decoded copy, then persist every surviving cell; the failed
-        # columns stay erased but decode to the new content.
+        if self.injector is not None:
+            for pos, _, _ in pieces:
+                self._element_io(stripe_idx, pos, "write")
+        if stripe.any_faults():
+            # Stale deferred parity must land before a reconstruct-write
+            # decodes the stripe.
+            if self.cache is not None and stripe_idx in self.cache:
+                self._flush_stripe(stripe_idx)
+            self._write_stripe_degraded(stripe_idx, pieces)
+        elif self.cache is not None:
+            self._write_stripe_cached(stripe_idx, pieces)
+        else:
+            self._write_stripe_through(stripe_idx, pieces)
+
+    def _merge_pieces(
+        self, stripe: Stripe, pieces: list[Piece], charge_reads: bool
+    ) -> dict[Position, np.ndarray]:
+        """Fold write pieces into full new element buffers (the RMW read)."""
+        updates: dict[Position, np.ndarray] = {}
+        for pos, within, piece in pieces:
+            base = updates.get(pos)
+            if base is None:
+                base = stripe.get(pos).copy()
+                if charge_reads:
+                    self.stats.record_read(pos[1])
+            base[within : within + len(piece)] = np.frombuffer(piece, dtype=np.uint8)
+            updates[pos] = base
+        return updates
+
+    def _write_stripe_through(self, stripe_idx: int, pieces: list[Piece]) -> None:
+        """Healthy write-through: one parity pass for the whole stripe.
+
+        All touched elements' deltas are folded down each parity chain
+        together, so a write spanning several elements of one stripe
+        rewrites each parity element exactly once.
+        """
+        stripe = self.stripes[stripe_idx]
+        updates = self._merge_pieces(stripe, pieces, charge_reads=True)
+        rewritten = self.code.update_elements(stripe, updates)
+        for pos, buf in updates.items():
+            self.sidecar.record(stripe_idx, pos, buf)
+            self.stats.record_write(pos[1])
+            self.data_writes += 1
+        for parity in sorted(rewritten):
+            self.sidecar.record(stripe_idx, parity, stripe.get(parity))
+            self.stats.record_read(parity[1])
+            self.stats.record_write(parity[1])
+            self.parity_writes += 1
+
+    def _write_stripe_cached(self, stripe_idx: int, pieces: list[Piece]) -> None:
+        """Write-back: land the data bytes now, defer the parity delta."""
+        assert self.cache is not None
+        entry = self.cache.entry(stripe_idx, self.code.rows, self.code.cols)
+        stripe = self.stripes[stripe_idx]
+        for pos, within, piece in pieces:
+            element = stripe.data[pos]
+            if entry.snapshot(pos, element):
+                self.stats.record_read(pos[1])  # the RMW old-data read
+            element[within : within + len(piece)] = np.frombuffer(
+                piece, dtype=np.uint8
+            )
+            self.stats.record_write(pos[1])
+            self.data_writes += 1
+        evicted = self.cache.evict_over_capacity()
+        if evicted:
+            self._flush_entries(evicted)
+
+    def _write_stripe_degraded(self, stripe_idx: int, pieces: list[Piece]) -> None:
+        """Reconstruct-write: decode once, update, persist survivors once.
+
+        The decoded copy absorbs every piece before anything is
+        persisted, so a multi-element write costs one decode and one
+        stripe-wide persist instead of one of each per element.
+        """
+        stripe = self.stripes[stripe_idx]
         restored = self._reconstructed(stripe)
-        old = restored.get(pos)
-        new = old.copy()
-        new[within : within + len(piece)] = bytearray(piece)
-        self.code.update_element(restored, pos, new)
-        for r in range(self.code.rows):
-            for c in range(self.code.cols):
-                if c in self.failed_disks:
-                    continue
+        updates = self._merge_pieces(restored, pieces, charge_reads=False)
+        self.code.update_elements(restored, updates)
+        surviving = [c for c in range(self.code.cols) if c not in self.failed_disks]
+        for c in surviving:
+            # The decode read the column; the persist rewrites it.
+            self.stats.record_read(c, self.code.rows)
+            self.stats.record_write(c, self.code.rows)
+            for r in range(self.code.rows):
                 stripe.set((r, c), restored.get((r, c)))
         # The sidecar tracks logical content, failed columns included.
         self.sidecar.record_stripe(stripe_idx, restored)
+        self.data_writes += len(updates)
+        self.parity_writes += sum(
+            1 for (_, c) in self.code.parity_positions if c not in self.failed_disks
+        )
+
+    # -- the flush path: deferred parity deltas land in batches --------------------
+
+    def flush(self) -> int:
+        """Flush every dirty stripe's deferred parity; return how many."""
+        if self.cache is None or not len(self.cache):
+            return 0
+        return self._flush_entries(self.cache.pop_all())
+
+    def _flush_stripe(self, stripe_idx: int) -> None:
+        assert self.cache is not None
+        entry = self.cache.pop(stripe_idx)
+        if entry is not None:
+            self._flush_entries([(stripe_idx, entry)])
+
+    def _flush_entries(self, entries: list[tuple[int, DirtyStripe]]) -> int:
+        """Land deferred parity for the given dirty stripes.
+
+        Stripes sharing a dirty pattern are grouped into one
+        :class:`StripeBatch` of ``old ⊕ new`` deltas and run through a
+        single compiled ``update`` plan (or a full re-encode when the
+        cost model prefers it).  Degraded stripes and the pure-Python
+        engine take the per-stripe chain walk instead.
+        """
+        groups: dict[tuple[int, ...], list[tuple[int, DirtyStripe]]] = {}
+        flushed = 0
+        for idx, entry in entries:
+            if not entry.num_dirty:
+                continue
+            flushed += 1
+            stripe = self.stripes[idx]
+            if (
+                self.engine != "vector"
+                or stripe.erased.any()
+                or stripe.latent.any()
+            ):
+                self._flush_python(idx, entry)
+                continue
+            groups.setdefault(entry.pattern(self.code.cols), []).append((idx, entry))
+        for pattern, group in sorted(groups.items()):
+            try:
+                from ..engine.compile import choose_update_strategy
+
+                strategy, plan = choose_update_strategy(self.code, pattern)
+            except PlanError:
+                for idx, entry in group:
+                    self._flush_python(idx, entry)
+                continue
+            if strategy == "reencode":
+                self._flush_group_reencode(pattern, group)
+            else:
+                self._flush_group_rmw(pattern, plan, group)
+        return flushed
+
+    def _flush_group_rmw(
+        self,
+        pattern: tuple[int, ...],
+        plan,
+        group: list[tuple[int, DirtyStripe]],
+    ) -> None:
+        """One update plan over a batch of same-pattern stripe deltas."""
+        from ..engine.executor import apply_update, execute_plan
+
+        cells = [divmod(slot, self.code.cols) for slot in pattern]
+        delta = StripeBatch(
+            self.code.rows, self.code.cols, self.element_size, len(group)
+        )
+        for i, (idx, entry) in enumerate(group):
+            live = self.stripes[idx].data
+            for pos in cells:
+                np.bitwise_xor(live[pos], entry.old[pos], out=delta.data[i][pos])
+        execute_plan(plan, delta, stats=self.stats)
+        apply_update(
+            plan, delta, [self.stripes[idx] for idx, _ in group], stats=self.stats
+        )
+        outputs = [divmod(slot, self.code.cols) for slot in plan.outputs]
+        for idx, _ in group:
+            stripe = self.stripes[idx]
+            for pos in cells:
+                self.sidecar.record(idx, pos, stripe.data[pos])
+            for pos in outputs:
+                self.sidecar.record(idx, pos, stripe.data[pos])
+                self.stats.record_read(pos[1])
+                self.stats.record_write(pos[1])
+                self.parity_writes += 1
+        self.stats.record_flush(len(group) * len(cells))
+
+    def _flush_group_reencode(
+        self, pattern: tuple[int, ...], group: list[tuple[int, DirtyStripe]]
+    ) -> None:
+        """Mostly-dirty stripes: re-encoding beats the delta chain walk."""
+        dirty_cells = {divmod(slot, self.code.cols) for slot in pattern}
+        for idx, entry in group:
+            stripe = self.stripes[idx]
+            for pos in self.code.data_positions:
+                if pos not in dirty_cells:
+                    self.stats.record_read(pos[1])  # clean inputs of the encode
+            self.code.encode(stripe, engine=self.engine)
+            for pos in sorted(dirty_cells):
+                self.sidecar.record(idx, pos, stripe.data[pos])
+            for pos in self.code.parity_positions:
+                self.sidecar.record(idx, pos, stripe.data[pos])
+                self.stats.record_write(pos[1])
+                self.parity_writes += 1
+        self.stats.record_flush(len(group) * len(dirty_cells))
+
+    def _flush_python(self, idx: int, entry: DirtyStripe) -> None:
+        """Per-stripe chain-walk flush: the oracle and the degraded path.
+
+        Works on degraded stripes too: an erased parity column's delta
+        is still propagated to nested chains (its *logical* content
+        shifts even though no disk write happens), matching what the
+        decoder will reconstruct.
+        """
+        stripe = self.stripes[idx]
+        deltas: dict[Position, np.ndarray] = {}
+        for pos in entry.dirty_positions():
+            deltas[pos] = np.bitwise_xor(stripe.data[pos], entry.old[pos])
+            self.sidecar.record(idx, pos, stripe.data[pos])
+        for chain in self.code.encode_order:
+            chain_delta: np.ndarray | None = None
+            for member in chain.members:
+                d = deltas.get(member)
+                if d is None:
+                    continue
+                chain_delta = d.copy() if chain_delta is None else chain_delta ^ d
+            if chain_delta is None or not chain_delta.any():
+                continue
+            deltas[chain.parity] = chain_delta
+            r, c = chain.parity
+            if stripe.erased[r, c]:
+                continue  # the column is gone; a rebuild re-derives it
+            stripe.data[r, c] ^= chain_delta
+            stripe.latent[r, c] = False
+            self.sidecar.record(idx, chain.parity, stripe.data[r, c])
+            self.stats.record_read(c)
+            self.stats.record_write(c)
+            self.parity_writes += 1
+        self.stats.record_flush(entry.num_dirty)
 
     def __repr__(self) -> str:
+        dirty = len(self.cache) if self.cache is not None else 0
         return (
             f"FileStore(code={self.code.name}, stripes={len(self.stripes)}, "
-            f"capacity={self.capacity}, failed={sorted(self.failed_disks)})"
+            f"capacity={self.capacity}, failed={sorted(self.failed_disks)}, "
+            f"dirty={dirty})"
         )

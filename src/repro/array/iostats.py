@@ -29,6 +29,11 @@ class IOStats:
     xor_words: int = 0
     #: vector-kernel invocations (one numpy ufunc call each).
     kernel_invocations: int = 0
+    #: batched parity-delta flushes executed by the write-back cache
+    #: (one per update-plan execution over a dirty-pattern group).
+    flush_batches: int = 0
+    #: dirty data elements whose deferred parity landed in those flushes.
+    flushed_elements: int = 0
 
     def __post_init__(self) -> None:
         if self.num_disks <= 0:
@@ -56,6 +61,14 @@ class IOStats:
             raise InvalidParameterError("compute counters must be >= 0")
         self.xor_words += words
         self.kernel_invocations += kernels
+
+    def record_flush(self, elements: int, batches: int = 1) -> None:
+        """Charge one (or more) write-back flush batches covering
+        ``elements`` dirty data elements."""
+        if elements < 0 or batches < 0:
+            raise InvalidParameterError("flush counters must be >= 0")
+        self.flushed_elements += elements
+        self.flush_batches += batches
 
     def _check(self, disk: int, count: int) -> None:
         if not 0 <= disk < self.num_disks:
@@ -97,6 +110,8 @@ class IOStats:
             self.writes[d] += other.writes[d]
         self.xor_words += other.xor_words
         self.kernel_invocations += other.kernel_invocations
+        self.flush_batches += other.flush_batches
+        self.flushed_elements += other.flushed_elements
 
     def copy(self) -> "IOStats":
         return IOStats(
@@ -105,6 +120,8 @@ class IOStats:
             list(self.writes),
             self.xor_words,
             self.kernel_invocations,
+            self.flush_batches,
+            self.flushed_elements,
         )
 
     def reset(self) -> None:
@@ -112,3 +129,5 @@ class IOStats:
         self.writes = [0] * self.num_disks
         self.xor_words = 0
         self.kernel_invocations = 0
+        self.flush_batches = 0
+        self.flushed_elements = 0

@@ -18,7 +18,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
-from ..exceptions import InvalidParameterError, SimulationError, TransientIOError
+from ..exceptions import (
+    InvalidParameterError,
+    PlanError,
+    SimulationError,
+    TransientIOError,
+)
 from ..recovery.single import plan_degraded_read
 from .addressing import VolumeAddressing
 from .disk import SimulatedDisk
@@ -169,6 +174,29 @@ class RAID6Volume:
         pattern_io.record_xor(xors, xors)
         self.stats.record_xor(xors, xors)
 
+    def _charge_update_compute(self, pattern_io: IOStats, cells) -> None:
+        """Charge the XOR-compute cost of one stripe's parity-delta RMW.
+
+        The write half of :meth:`_charge_compute`: the vector volume
+        compiles the same ``update`` plan the write-back flush path
+        executes for these dirty cells and charges its element-XOR
+        count, plus one XOR per dirtied parity for folding the delta
+        in (``parity ^= delta``).  Symbolic units (element-XORs), like
+        the read-side charge.
+        """
+        if self.engine != "vector" or not cells:
+            return
+        from ..engine.compile import compile_plan
+
+        try:
+            plan = compile_plan(self.code, "update", tuple(cells))
+        except PlanError:
+            return
+        xors = plan.xors_per_word + len(plan.outputs)
+        kernels = plan.kernel_calls + len(plan.outputs)
+        pattern_io.record_xor(xors, kernels)
+        self.stats.record_xor(xors, kernels)
+
     # -- write patterns ---------------------------------------------------------------
 
     def write(self, start: int, length: int) -> PatternResult:
@@ -224,6 +252,7 @@ class RAID6Volume:
                 disk = self.addressing.disk_of(stripe, parity_pos[1])
                 self._charge(pattern_io, disk, reads=1, writes=1)
                 parity_writes += 1
+            self._charge_update_compute(pattern_io, cells)
         return PatternResult(
             io=pattern_io,
             seconds=self._pattern_seconds(pattern_io),

@@ -100,6 +100,15 @@ class Stripe:
         r, c = self._check(pos)
         return not (self.erased[r, c] or self.latent[r, c])
 
+    def any_faults(self) -> bool:
+        """True when any cell is erased or latent.
+
+        Equivalent to ``erased.any() or latent.any()`` but a plain
+        byte scan — the write path asks this per call, and two ufunc
+        reductions per write are measurable at small-write rates.
+        """
+        return b"\x01" in self.erased.tobytes() or b"\x01" in self.latent.tobytes()
+
     # -- erasure --------------------------------------------------------------
 
     def erase(self, pos: Position) -> None:

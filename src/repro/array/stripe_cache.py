@@ -1,0 +1,163 @@
+"""The write-back stripe cache behind :class:`~repro.array.filestore.FileStore`.
+
+A cached store writes data elements straight into the stripe buffers
+(reads stay coherent) but *defers the parity update*: each dirty
+stripe is tracked here with a dirty-element bitmap and a pre-image
+snapshot of every element's first overwrite.  At flush time the store
+computes ``old ⊕ new`` deltas from the snapshots, groups stripes that
+share a dirty pattern into one :class:`~repro.array.stripe.StripeBatch`,
+and folds the parity deltas in with a single compiled ``update`` plan
+per pattern (see :mod:`repro.engine.compile`).
+
+The cache itself is policy only — capacity, LRU order, dirty tracking,
+hit/miss/eviction counters.  It never touches stripe bytes except to
+snapshot pre-images; all flushing lives in the store, which knows the
+code, the engine, and the checksum sidecar.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError
+
+#: A cell coordinate ``(row, col)``, 0-based.
+Position = tuple[int, int]
+
+
+class DirtyStripe:
+    """Dirty state of one cached stripe.
+
+    ``dirty`` is the dirty-element bitmap; ``old`` holds a pre-image
+    copy of each dirty element, taken on its *first* overwrite — later
+    writes to the same element only touch the live buffer, which is
+    exactly how the cache absorbs rewrites of a hot element.
+    """
+
+    def __init__(self, rows: int, cols: int) -> None:
+        self.dirty = np.zeros((rows, cols), dtype=bool)
+        self.old: dict[Position, np.ndarray] = {}
+        # Mirror of the bitmap for O(1) Python-side membership — a
+        # numpy scalar index per write is measurable at small-write
+        # rates.
+        self._touched: set[Position] = set()
+
+    def is_dirty(self, pos: Position) -> bool:
+        return pos in self._touched
+
+    def snapshot(self, pos: Position, current: np.ndarray) -> bool:
+        """Record ``pos`` dirty; copy its pre-image on first touch.
+
+        Returns True when this was the first touch (the caller charges
+        the read-modify-write's old-data read exactly once).
+        """
+        if pos in self._touched:
+            return False
+        self._touched.add(pos)
+        self.old[pos] = current.copy()
+        self.dirty[pos] = True
+        return True
+
+    def dirty_positions(self) -> list[Position]:
+        """The dirty cells, row-major."""
+        rs, cs = np.nonzero(self.dirty)
+        return [(int(r), int(c)) for r, c in zip(rs, cs)]
+
+    def pattern(self, cols: int) -> tuple[int, ...]:
+        """The dirty bitmap as sorted cell slots — the update-plan key."""
+        return tuple(r * cols + c for r, c in self.dirty_positions())
+
+    @property
+    def num_dirty(self) -> int:
+        return len(self._touched)
+
+
+class StripeCache:
+    """A bounded LRU of dirty stripes awaiting a parity flush."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise InvalidParameterError("stripe cache capacity must be positive")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.flushes = 0
+        self.flushed_elements = 0
+        self._entries: OrderedDict[int, DirtyStripe] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, stripe_idx: int) -> bool:
+        return stripe_idx in self._entries
+
+    def entry(self, stripe_idx: int, rows: int, cols: int) -> DirtyStripe:
+        """The dirty entry for a stripe, created on first touch (LRU bump)."""
+        found = self._entries.get(stripe_idx)
+        if found is not None:
+            self.hits += 1
+            self._entries.move_to_end(stripe_idx)
+            return found
+        self.misses += 1
+        fresh = DirtyStripe(rows, cols)
+        self._entries[stripe_idx] = fresh
+        return fresh
+
+    def peek(self, stripe_idx: int) -> DirtyStripe | None:
+        """The entry without an LRU bump (read-path dirtiness probe)."""
+        return self._entries.get(stripe_idx)
+
+    def pop(self, stripe_idx: int) -> DirtyStripe | None:
+        """Remove and return one stripe's entry (a targeted flush)."""
+        entry = self._entries.pop(stripe_idx, None)
+        if entry is not None:
+            self.note_flushed(entry)
+        return entry
+
+    def evict_over_capacity(self) -> list[tuple[int, DirtyStripe]]:
+        """Pop least-recently-used entries until within capacity."""
+        evicted: list[tuple[int, DirtyStripe]] = []
+        while len(self._entries) > self.capacity:
+            idx, entry = self._entries.popitem(last=False)
+            self.evictions += 1
+            self.note_flushed(entry)
+            evicted.append((idx, entry))
+        return evicted
+
+    def pop_all(self) -> list[tuple[int, DirtyStripe]]:
+        """Remove every entry, oldest first (the full flush)."""
+        drained = list(self._entries.items())
+        self._entries.clear()
+        for _, entry in drained:
+            self.note_flushed(entry)
+        return drained
+
+    def note_flushed(self, entry: DirtyStripe) -> None:
+        self.flushes += 1
+        self.flushed_elements += entry.num_dirty
+
+    def stats(self) -> dict[str, int]:
+        """A snapshot of the cache counters."""
+        return {
+            "size": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "flushes": self.flushes,
+            "flushed_elements": self.flushed_elements,
+        }
+
+    def reset_stats(self) -> None:
+        """Zero the counters, keeping any dirty entries."""
+        self.hits = self.misses = self.evictions = 0
+        self.flushes = self.flushed_elements = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"StripeCache(size={len(self._entries)}, capacity={self.capacity}, "
+            f"hits={self.hits}, misses={self.misses}, evictions={self.evictions})"
+        )

@@ -226,6 +226,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="JSON results file (default BENCH_engine.json; '-' for stdout)",
     )
 
+    bench_w = sub.add_parser(
+        "bench-write",
+        help="write-path benchmark: Fig. 6 partial-stripe-write sweep plus "
+        "the write-back cache throughput headline",
+    )
+    bench_w.add_argument(
+        "--code",
+        default=None,
+        help="sweep one code only (default: every XOR code)",
+    )
+    bench_w.add_argument(
+        "--p", type=int, default=11, help="prime (default 11; the acceptance prime)"
+    )
+    bench_w.add_argument(
+        "--element-size",
+        type=int,
+        default=None,
+        help="bytes per element (default 65536; the acceptance size)",
+    )
+    bench_w.add_argument(
+        "--batch", type=int, default=8, help="stripes per batched execution"
+    )
+    bench_w.add_argument("--repeats", type=int, default=3, help="best-of repeats")
+    bench_w.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small fixed CI run (HV+RDP at p=5, 4 KiB elements, 1 repeat)",
+    )
+    bench_w.add_argument(
+        "--output",
+        default="BENCH_write.json",
+        help="JSON results file (default BENCH_write.json; '-' for stdout)",
+    )
+
     lint = sub.add_parser(
         "lint", help="repo lint rules R001-R006 (AST-based, repo-specific)"
     )
@@ -608,6 +642,53 @@ def _run_bench_engine(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_bench_write(args: argparse.Namespace) -> int:
+    """Write-path benchmark sweep; writes BENCH_write.json."""
+    import json
+
+    from .engine.bench_write import run_write_benchmark
+
+    kwargs = dict(
+        p=args.p,
+        batch=args.batch,
+        repeats=args.repeats,
+        smoke=args.smoke,
+    )
+    if args.code:
+        kwargs["codes"] = (args.code,)
+    if args.element_size is not None:
+        kwargs["element_size"] = args.element_size
+    payload = run_write_benchmark(**kwargs)
+    rendered = json.dumps(payload, indent=2, sort_keys=True)
+    if args.output and args.output != "-":
+        with open(args.output, "w") as fh:
+            fh.write(rendered + "\n")
+        print(f"wrote write benchmark to {args.output}")
+    else:
+        print(rendered)
+    head = payload["headline"]
+    print(
+        f"headline ({head['code']}@{payload['p']}, "
+        f"{payload['element_size'] // 1024} KiB elements, "
+        f"{head['io_size'] // 1024} KiB ops): "
+        f"cached {head['cached']['mb_per_s']:.1f} MB/s vs baseline "
+        f"{head['baseline']['mb_per_s']:.1f} MB/s = {head['speedup']:.1f}x, "
+        f"parity writes {head['baseline']['parity_writes']} -> "
+        f"{head['cached']['parity_writes']}"
+    )
+    by_code: dict[str, list] = {}
+    for row in payload["sweep"]:
+        by_code.setdefault(row["code"], []).append(row)
+    for name, rows in by_code.items():
+        avg = sum(r["parity_writes_per_data"] for r in rows) / len(rows)
+        spd = sum(r["speedup_vs_oracle"] for r in rows) / len(rows)
+        print(
+            f"{name:<10} parity writes/data element {avg:.2f} "
+            f"(avg over w=1..{rows[-1]['w']}), vector {spd:.1f}x oracle"
+        )
+    return 0
+
+
 def _run_lint(args: argparse.Namespace) -> int:
     """Run the R001-R006 catalogue; exits 1 when violations remain."""
     import json
@@ -648,6 +729,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "bench-engine":
         return _run_bench_engine(args)
+
+    if args.command == "bench-write":
+        return _run_bench_write(args)
 
     if args.command == "lint":
         return _run_lint(args)

@@ -608,19 +608,47 @@ class ArrayCode(ABC):
 
         Propagates the XOR *delta* through the parity chains instead of
         re-encoding — exactly the read-modify-write a real array does.
-        Chains are processed in encode order so nested parities (RDP's
-        diagonals over row parity, HDP's horizontal over anti-diagonal)
-        see their members' deltas before computing their own.
+        Returns the parity cells that were rewritten.
+        """
+        return self.update_elements(stripe, {pos: buf})
+
+    def update_elements(
+        self, stripe: Stripe, updates: dict[Position, object]
+    ) -> frozenset[Position]:
+        """Batched small-write path: overwrite several data elements.
+
+        All deltas are absorbed in one pass over the chains, so a
+        parity shared by several updated elements (HV's row sharing,
+        the cross-row vertical sharing) is rewritten *once* instead of
+        once per element.  Chains are processed in encode order so
+        nested parities (RDP's diagonals over row parity, HDP's
+        horizontal over anti-diagonal) see their members' deltas
+        before computing their own.
 
         Returns the parity cells that were rewritten.
         """
-        if not self.is_data(pos):
-            raise LayoutError(f"{pos} is not a data element")
         self._check_stripe(stripe)
-        new = np.asarray(buf, dtype=np.uint8)
-        delta = stripe.get(pos) ^ new
-        stripe.set(pos, new)
-        deltas: dict[Position, np.ndarray] = {pos: delta}
+        deltas: dict[Position, np.ndarray] = {}
+        for pos, buf in updates.items():
+            if not self.is_data(pos):
+                raise LayoutError(f"{pos} is not a data element")
+            new = np.asarray(buf, dtype=np.uint8)
+            delta = stripe.get(pos) ^ new
+            stripe.set(pos, new)
+            deltas[pos] = delta
+        return self.apply_parity_deltas(stripe, deltas)
+
+    def apply_parity_deltas(
+        self, stripe: Stripe, deltas: dict[Position, np.ndarray]
+    ) -> frozenset[Position]:
+        """Fold data-element deltas into every parity chain they touch.
+
+        ``deltas`` maps already-written data cells to their
+        ``old ⊕ new`` buffers (the dict is extended in place with the
+        parity deltas as they are derived).  This is the pure-Python
+        oracle of the engine's ``update`` plans; the write-back cache
+        uses it when a stripe cannot take the vectorized path.
+        """
         rewritten: set[Position] = set()
         for chain in self.encode_order:
             chain_delta = None

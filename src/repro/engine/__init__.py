@@ -24,21 +24,26 @@ planners, or :class:`RAID6Volume` and the wiring lands here.
 from .compile import (
     MAX_CSE_TEMPS,
     PLAN_CACHE,
+    UPDATE_STRATEGIES,
     PlanCache,
+    choose_update_strategy,
     compile_plan,
     eliminate_common_pairs,
     lower_single_recovery,
 )
-from .executor import execute_plan, execute_plan_scalar
+from .executor import apply_update, execute_plan, execute_plan_scalar
 from .plan import PLAN_OPS, XorPlan, XorStep
 
 __all__ = [
     "MAX_CSE_TEMPS",
     "PLAN_CACHE",
     "PLAN_OPS",
+    "UPDATE_STRATEGIES",
     "PlanCache",
     "XorPlan",
     "XorStep",
+    "apply_update",
+    "choose_update_strategy",
     "compile_plan",
     "eliminate_common_pairs",
     "execute_plan",

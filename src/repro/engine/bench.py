@@ -168,7 +168,7 @@ def run_engine_benchmark(
         "repeats": repeats,
         "smoke": smoke,
         "results": results,
-        "plan_cache": PLAN_CACHE.stats,
+        "plan_cache": PLAN_CACHE.stats(),
     }
 
 

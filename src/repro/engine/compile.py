@@ -13,6 +13,12 @@ One compiler per operation, all funneled through :func:`compile_plan`:
   parallel chains (kept as executor ``groups``), every other code uses
   the generic peel schedule;
 - ``decode`` — an arbitrary erasure pattern via chain peeling.
+- ``update`` — a partial-stripe write: for a set of dirty data cells,
+  one step per dirtied parity computing its *delta* (the XOR of the
+  dirty members of its chain, nested parities included).  HV's row
+  sharing and cross-row vertical-parity sharing collapse into single
+  multi-source steps, and the pairwise CSE below deduplicates cell
+  pairs shared between chains.
 
 Plans that peeling cannot complete (patterns needing the Gaussian
 reference decoder) raise :class:`~repro.exceptions.PlanError`; callers
@@ -90,10 +96,14 @@ class PlanCache:
 
     def clear(self) -> None:
         self._plans.clear()
+        self.reset_stats()
+
+    def reset_stats(self) -> None:
+        """Zero the hit/miss/eviction counters, keeping cached plans."""
         self.hits = self.misses = self.evictions = 0
 
-    @property
     def stats(self) -> dict[str, int]:
+        """A snapshot of the cache counters (size, hits, misses, evictions)."""
         return {
             "size": len(self._plans),
             "hits": self.hits,
@@ -143,6 +153,8 @@ def compile_plan(
         plan = _compile_single(code, canonical[0], planner)
     elif op == "recover-double":
         plan = _compile_double(code, canonical[0], canonical[1])
+    elif op == "update":
+        plan = _compile_update(code, canonical)
     else:
         plan = _compile_decode(code, canonical)
     if cse:
@@ -172,6 +184,17 @@ def _canonical_pattern(code: "ArrayCode", op: str, pattern: tuple) -> tuple:
         if len(pattern) != 2 or pattern[0] == pattern[1]:
             raise PlanError("recover-double takes two distinct failed disks")
         return tuple(sorted(_disk(code, d) for d in pattern))
+    if op == "update":
+        if not pattern:
+            raise PlanError("update needs at least one dirty data cell")
+        slots = tuple(sorted({_slot(code, cell) for cell in pattern}))
+        for slot in slots:
+            if not code.is_data(divmod(slot, code.cols)):
+                raise PlanError(
+                    f"{code.name}: update cell {divmod(slot, code.cols)} "
+                    "is a parity element, not data"
+                )
+        return slots
     return tuple(sorted(_slot(code, cell) for cell in pattern))
 
 
@@ -318,6 +341,87 @@ def _compile_double_hv(code: "ArrayCode", f1: int, f2: int) -> XorPlan:
         rounds=algo.longest_chain,
         groups=tuple(groups),
     )
+
+
+def _compile_update(code: "ArrayCode", pattern: tuple[int, ...]) -> XorPlan:
+    """Lower a partial-stripe write into a parity-delta schedule.
+
+    The plan runs on a *delta buffer*: the dirty data slots of
+    ``pattern`` hold ``old ⊕ new`` and everything else starts
+    undefined.  One step per dirtied parity (dependency closure over
+    :attr:`ArrayCode.encode_order`, so RDP's diagonal-over-row-parity
+    nesting lands after the row deltas it reads) computes that
+    parity's delta as the XOR of its chain's dirty members.  Shared
+    members — HV's row sharing, the cross-row vertical sharing — make
+    a parity's delta a single multi-source kernel instead of one call
+    per dirty cell.
+    """
+    slot = lambda pos: pos[0] * code.cols + pos[1]  # noqa: E731
+    dirty: set[int] = set(pattern)
+    steps: list[XorStep] = []
+    depth: dict[int, int] = {}
+    outputs: list[int] = []
+    for chain in code.encode_order:
+        srcs = tuple(sorted(slot(m) for m in chain.members if slot(m) in dirty))
+        if not srcs:
+            continue
+        dst = slot(chain.parity)
+        steps.append(XorStep(dst=dst, srcs=srcs))
+        depth[dst] = 1 + max((depth.get(s, 0) for s in srcs), default=0)
+        dirty.add(dst)
+        outputs.append(dst)
+    rounds = max(depth.values(), default=0)
+    return XorPlan(
+        code_name=code.name,
+        p=code.p,
+        op="update",
+        pattern=pattern,
+        rows=code.rows,
+        cols=code.cols,
+        steps=tuple(steps),
+        erased=tuple(outputs),
+        outputs=tuple(outputs),
+        rounds=rounds,
+        # Depth-one schedules (no nested parity) are embarrassingly
+        # parallel: every parity delta is an independent group.
+        groups=(
+            tuple((i,) for i in range(len(steps))) if rounds <= 1 else ()
+        ),
+    )
+
+
+#: RMW-vs-re-encode crossover strategies :func:`choose_update_strategy`
+#: can return.
+UPDATE_STRATEGIES = ("rmw", "reencode")
+
+
+def choose_update_strategy(
+    code: "ArrayCode",
+    cells: tuple,
+    *,
+    cache: PlanCache | None = PLAN_CACHE,
+) -> tuple[str, XorPlan]:
+    """Pick delta RMW or full re-encode for a dirty-cell set.
+
+    Compares kernel counts end to end: the RMW side pays one delta
+    build per dirty cell, the update plan itself, and one apply kernel
+    per dirtied parity; the re-encode side pays the encode plan (the
+    data is already in place).  Returns ``(strategy, plan)`` where the
+    plan is the update plan for ``"rmw"`` and the encode plan for
+    ``"reencode"`` — for a mostly-dirty stripe the re-encode touches
+    every parity once and wins, which is exactly the paper's
+    RMW-versus-reconstruct-write crossover.
+    """
+    update_plan = compile_plan(code, "update", cells, cache=cache)
+    encode_plan = compile_plan(code, "encode", cache=cache)
+    rmw_kernels = (
+        len(update_plan.pattern)  # delta build: one XOR per dirty cell
+        + update_plan.kernel_calls
+        + len(update_plan.outputs)  # fold each parity delta into the stripe
+    )
+    if rmw_kernels > encode_plan.kernel_calls:
+        return "reencode", encode_plan
+    return "rmw", update_plan
 
 
 def _compile_decode(code: "ArrayCode", pattern: tuple[int, ...]) -> XorPlan:

@@ -169,6 +169,75 @@ def _clear_outputs(plan: XorPlan, target: Stripe | StripeBatch) -> None:
     target.latent[..., rows, cols] = False
 
 
+# -- the write pipeline: fold parity deltas into live stripes ------------------------
+
+
+def apply_update(
+    plan: XorPlan,
+    delta: Stripe | StripeBatch,
+    target: Target,
+    *,
+    stats: "IOStats | None" = None,
+) -> None:
+    """XOR an executed update plan's parity deltas into ``target``.
+
+    ``delta`` is the buffer :func:`execute_plan` ran the ``update``
+    plan over: its dirty data slots held ``old ⊕ new`` and its
+    :attr:`~repro.engine.plan.XorPlan.outputs` slots now hold parity
+    deltas.  Each output is folded into the matching cell of
+    ``target`` in place (``parity ^= delta``) — one kernel per parity
+    per batch, never per stripe, when both sides are batches.
+
+    A :class:`~repro.array.stripe.StripeBatch` delta may also be
+    applied to a *sequence* of stripes (lane ``i`` of the batch folds
+    into ``target[i]``) — the shape the write-back cache's flush path
+    uses, where the live stripes are separate allocations.
+    """
+    if plan.op != "update":
+        raise PlanError(f"apply_update needs an 'update' plan, got {plan.op!r}")
+    if not plan.outputs:
+        return
+    _check_geometry(plan, delta)
+    dbuf = _word_view(delta)
+    if isinstance(target, (Stripe, StripeBatch)):
+        _check_geometry(plan, target)
+        tbuf = _word_view(target)
+        if tbuf.shape != dbuf.shape:
+            raise PlanError(
+                f"delta shape {dbuf.shape} does not match target {tbuf.shape}"
+            )
+        for slot in plan.outputs:
+            np.bitwise_xor(
+                tbuf[..., slot, :], dbuf[..., slot, :], out=tbuf[..., slot, :]
+            )
+        lanes = tbuf.shape[0] if tbuf.ndim == 3 else 1
+        words = tbuf.shape[-1]
+        kernels = len(plan.outputs)
+    elif isinstance(target, Sequence):
+        if dbuf.ndim != 3 or len(target) != dbuf.shape[0]:
+            raise PlanError(
+                f"applying to {len(target)} stripes needs a batch delta "
+                "with one lane per stripe"
+            )
+        views = []
+        for stripe in target:
+            _check_geometry(plan, stripe)
+            views.append(_word_view(stripe))
+        for i, tbuf in enumerate(views):
+            for slot in plan.outputs:
+                np.bitwise_xor(tbuf[slot], dbuf[i, slot], out=tbuf[slot])
+        lanes = len(views)
+        words = dbuf.shape[-1]
+        kernels = len(plan.outputs) * lanes
+    else:
+        raise InvalidParameterError(
+            f"cannot apply an update to {type(target).__name__}"
+        )
+    if stats is not None:
+        per_call_words = words if dbuf.dtype == np.uint64 else max(words // 8, 1)
+        stats.record_xor(len(plan.outputs) * per_call_words * lanes, kernels)
+
+
 # -- the pure-Python oracle ---------------------------------------------------------
 
 

@@ -16,6 +16,15 @@ slot is never read before the step that defines it (temporaries and
 initially-erased cells start undefined), which :meth:`XorPlan.validate`
 checks and the compiler tests exercise for every code.
 
+Most ops run on the stripe itself.  The ``update`` op is the one
+exception: it runs on a *delta buffer* with the stripe's geometry —
+the dirty data slots (the plan's ``pattern``) hold ``old ⊕ new``
+deltas and every other slot starts undefined.  The plan writes each
+dirtied parity slot to the XOR of the dirty members of its chain
+(nested parities included), i.e. the *parity delta*; the executor's
+:func:`~repro.engine.executor.apply_update` then folds those deltas
+into the live stripe's parity cells.
+
 Plans are immutable and hashable by content: :attr:`XorPlan.plan_hash`
 is the SHA-256 of the canonical JSON serialization, so a hash pinned in
 :mod:`repro.static.pins` detects any schedule drift — a changed chain
@@ -35,7 +44,14 @@ from ..exceptions import PlanError
 Position = tuple[int, int]
 
 #: Operations a plan can encode (the ``op`` field).
-PLAN_OPS = ("encode", "reconstruct", "recover-single", "recover-double", "decode")
+PLAN_OPS = (
+    "encode",
+    "reconstruct",
+    "recover-single",
+    "recover-double",
+    "decode",
+    "update",
+)
 
 
 @dataclass(frozen=True)

@@ -33,7 +33,14 @@ Position = tuple[int, int]
 
 
 def crc_of(buf) -> int:
-    """CRC32 of one element buffer."""
+    """CRC32 of one element buffer.
+
+    Contiguous numpy arrays (the common case: element views into a
+    stripe) go straight through the buffer protocol; anything else
+    pays one ``bytes()`` copy.
+    """
+    if isinstance(buf, np.ndarray) and buf.flags["C_CONTIGUOUS"]:
+        return zlib.crc32(buf)
     return zlib.crc32(bytes(buf))
 
 

@@ -48,22 +48,28 @@ PINNED_CERTIFICATE_HASHES: dict[str, str] = {
 #: ``plan.key -> sha256`` for the engine's compiled-plan smoke set: the
 #: HV schedules the paper's algorithms pin down (encode, Fig. 9
 #: single-disk recovery of disk 0, Algorithm 1 double recovery of
-#: disks 0+1) at the evaluation primes.  Plans are compiled with the
-#: default deterministic ``greedy`` planner and CSE on; a changed hash
-#: means the *schedule* drifted — chain layout, planner decision, or
-#: CSE ordering — even if the decoded bytes stay correct.  Regenerate
-#: with ``python -m repro.cli certify --smoke`` after a deliberate
-#: change.
+#: disks 0+1, and the Section IV.5 partial-stripe-write ``update``
+#: schedule for the first ``p - 1`` logical data elements — one full
+#: row plus its cross-row neighbour, the pattern whose shared vertical
+#: parity the paper's claim rests on) at the evaluation primes.  Plans
+#: are compiled with the default deterministic ``greedy`` planner and
+#: CSE on; a changed hash means the *schedule* drifted — chain layout,
+#: planner decision, or CSE ordering — even if the decoded bytes stay
+#: correct.  Regenerate with ``python -m repro.cli certify --smoke``
+#: after a deliberate change.
 PINNED_PLAN_HASHES: dict[str, str] = {
     "HV@5:encode": "491fa0ef79c56b32cecb2c2312acb91b2d691c887470525ff29b8130e3324db9",
     "HV@5:recover-single:d0": "4cb0cb01e60697e04a59de9476c105960222f8014d734f5abf875fe8838a90e2",
     "HV@5:recover-double:d0d1": "85e74921406967f824fd7fcae87825282b0a58bd4f6b02ff7c996236275e8879",
+    "HV@5:update:d0d2d4d5": "04c9948e71eaf10bb76c9f782d3d02a4edbc477a1e99e95ab9521007b920c753",
     "HV@7:encode": "3f983722179df1264843a33f24487f9a7693d39f2189cfce15b8ac847f4a0ab3",
     "HV@7:recover-single:d0": "1132e936a082839fc4a96320d9b59cf76bf74021861c2bcb0fe3d9172e2a363d",
     "HV@7:recover-double:d0d1": "73dcd0e529d42a6ee1540f8fe2076eefb23e318a55f051d36368c91453beab1f",
+    "HV@7:update:d0d2d4d5d7d8": "a1cbb0ee15b4c08cf2de509a8cec26924004a276032333a00a5d9b7730b46f46",
     "HV@11:encode": "24c95f05097cb69e485040860a39dc03f4daff3935ce5b6ab83e3ff332a79510",
     "HV@11:recover-single:d0": "852d03fa4445ea6a72698be284314de048e862d0b4ee785e0ee7ae461b2b097e",
     "HV@11:recover-double:d0d1": "122494fc2afad8e2f885eddcf7e0d17fdbc801a44683f235e0d935a86fe3d543",
+    "HV@11:update:d0d2d4d5d6d7d8d9d10d11": "6bd181ededbca05c3c10ab51f80d90714eb8a96ca23bfc0080c7b6eae5e97b37",
 }
 
 
@@ -86,6 +92,11 @@ def pinned_plans():
         code = get_code("HV", p)
         for op, pattern in ops.items():
             yield compile_plan(code, op, pattern, cache=cache)
+        # The partial-stripe-write schedule: the first p - 1 logical
+        # data elements dirty (a full row plus the cross-row
+        # neighbour that shares its vertical parity).
+        update_cells = tuple(code.data_positions[: p - 1])
+        yield compile_plan(code, "update", update_cells, cache=cache)
 
 
 def check_plan_pins(plans=None) -> None:

@@ -95,3 +95,31 @@ class TestComputeCounters:
         assert a.xor_words == 15
         a.reset()
         assert (a.xor_words, a.kernel_invocations) == (0, 0)
+
+
+class TestFlushCounters:
+    def test_record_flush_accumulates(self):
+        s = IOStats(3)
+        s.record_flush(4)
+        s.record_flush(6, batches=2)
+        assert s.flush_batches == 3
+        assert s.flushed_elements == 10
+
+    def test_rejects_negative_flush(self):
+        s = IOStats(1)
+        with pytest.raises(InvalidParameterError):
+            s.record_flush(-1)
+        with pytest.raises(InvalidParameterError):
+            s.record_flush(1, batches=-1)
+
+    def test_merge_copy_reset_cover_flush(self):
+        a, b = IOStats(2), IOStats(2)
+        a.record_flush(3)
+        b.record_flush(2, batches=2)
+        a.merge(b)
+        assert (a.flush_batches, a.flushed_elements) == (3, 5)
+        dup = a.copy()
+        dup.record_flush(1)
+        assert a.flushed_elements == 5
+        a.reset()
+        assert (a.flush_batches, a.flushed_elements) == (0, 0)

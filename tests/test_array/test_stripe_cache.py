@@ -1,0 +1,306 @@
+"""The write-back stripe cache: policy, flush discipline, and byte identity.
+
+The load-bearing property is at the bottom: a hypothesis differential
+drives every registered code through random write sequences against a
+cached store and a plain write-through store and demands the stored
+bytes (and CRC sidecars) agree exactly.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import (
+    CauchyRSCode,
+    EvenOddCode,
+    HCode,
+    HDPCode,
+    HVCode,
+    LiberationCode,
+    PCode,
+    RDPCode,
+    XCode,
+)
+from repro.array.filestore import FileStore
+from repro.array.stripe_cache import DirtyStripe, StripeCache
+from repro.exceptions import InvalidParameterError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+
+CODE_CLASSES = [
+    HVCode,
+    RDPCode,
+    XCode,
+    HDPCode,
+    HCode,
+    EvenOddCode,
+    PCode,
+    LiberationCode,
+    CauchyRSCode,
+]
+
+
+def payload(n: int, seed: int = 0) -> bytes:
+    return bytes(np.random.default_rng(seed).integers(0, 256, n, dtype=np.uint8))
+
+
+class TestDirtyStripe:
+    def test_first_touch_snapshots_pre_image(self):
+        entry = DirtyStripe(3, 4)
+        buf = np.arange(8, dtype=np.uint8)
+        assert entry.snapshot((1, 2), buf) is True
+        buf[:] = 0  # later mutation must not reach the snapshot
+        assert entry.old[(1, 2)].tolist() == list(range(8))
+
+    def test_second_touch_is_absorbed(self):
+        entry = DirtyStripe(3, 4)
+        first = np.zeros(4, dtype=np.uint8)
+        assert entry.snapshot((0, 0), first) is True
+        assert entry.snapshot((0, 0), np.ones(4, dtype=np.uint8)) is False
+        assert entry.old[(0, 0)].tolist() == [0, 0, 0, 0]
+        assert entry.num_dirty == 1
+
+    def test_pattern_is_sorted_cell_slots(self):
+        entry = DirtyStripe(2, 5)
+        buf = np.zeros(2, dtype=np.uint8)
+        entry.snapshot((1, 3), buf)
+        entry.snapshot((0, 1), buf)
+        assert entry.pattern(5) == (1, 8)
+        assert entry.dirty_positions() == [(0, 1), (1, 3)]
+
+
+class TestStripeCache:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(InvalidParameterError):
+            StripeCache(0)
+
+    def test_hits_and_misses(self):
+        cache = StripeCache(4)
+        cache.entry(0, 2, 3)
+        cache.entry(0, 2, 3)
+        cache.entry(1, 2, 3)
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 2
+        assert stats["size"] == 2
+
+    def test_lru_evicts_least_recent(self):
+        cache = StripeCache(2)
+        cache.entry(0, 2, 3)
+        cache.entry(1, 2, 3)
+        cache.entry(0, 2, 3)  # bump 0: stripe 1 is now the LRU
+        cache.entry(2, 2, 3)
+        evicted = cache.evict_over_capacity()
+        assert [idx for idx, _ in evicted] == [1]
+        assert cache.evictions == 1
+        assert 0 in cache and 2 in cache
+
+    def test_peek_does_not_bump(self):
+        cache = StripeCache(2)
+        cache.entry(0, 2, 3)
+        cache.entry(1, 2, 3)
+        cache.peek(0)  # no LRU bump: stripe 0 stays oldest
+        cache.entry(2, 2, 3)
+        assert [idx for idx, _ in cache.evict_over_capacity()] == [0]
+
+    def test_pop_all_oldest_first(self):
+        cache = StripeCache(8)
+        buf = np.zeros(2, dtype=np.uint8)
+        for idx in (3, 1, 2):
+            cache.entry(idx, 2, 3).snapshot((0, 0), buf)
+        drained = cache.pop_all()
+        assert [idx for idx, _ in drained] == [3, 1, 2]
+        assert len(cache) == 0
+        assert cache.flushes == 3
+        assert cache.flushed_elements == 3
+
+    def test_reset_stats_keeps_entries(self):
+        cache = StripeCache(2)
+        cache.entry(0, 2, 3)
+        cache.reset_stats()
+        assert cache.stats()["misses"] == 0
+        assert 0 in cache
+
+
+class TestCachedFileStore:
+    def make(self, cache=4, engine="vector", element_size=16, p=7):
+        return FileStore(
+            HVCode(p),
+            element_size=element_size,
+            engine=engine,
+            cache_stripes=cache,
+        )
+
+    def test_cache_and_injector_are_mutually_exclusive(self):
+        code = HVCode(5)
+        with pytest.raises(InvalidParameterError):
+            FileStore(code, injector=FaultInjector(FaultPlan()), cache_stripes=2)
+
+    def test_parity_deferred_until_flush(self):
+        store = self.make()
+        store.write(0, payload(100))
+        assert store.parity_writes == 0
+        assert len(store.cache) == 1
+        assert store.flush() == 1
+        assert store.parity_writes > 0
+        assert store.scrub() == []
+
+    def test_flush_returns_zero_when_clean(self):
+        store = self.make()
+        assert store.flush() == 0
+
+    def test_reads_are_coherent_while_dirty(self):
+        store = self.make()
+        data = payload(200, seed=1)
+        store.write(0, data)
+        assert store.read(0, 200) == data
+
+    def test_context_manager_flushes(self):
+        with self.make() as store:
+            store.write(0, payload(64, seed=2))
+        assert len(store.cache) == 0
+        assert store.scrub() == []
+
+    def test_eviction_flushes_lru_stripe(self):
+        store = self.make(cache=1)
+        store.write(0, b"a")
+        assert store.parity_writes == 0
+        store.write(store.bytes_per_stripe, b"b")  # second stripe evicts first
+        assert store.cache.evictions == 1
+        assert store.parity_writes > 0
+        assert len(store.cache) == 1
+
+    def test_rewrites_are_absorbed(self):
+        store = self.make()
+        for i in range(10):
+            store.write(0, payload(32, seed=i))
+        store.flush()
+        # ten overwrites of the same cells, one parity RMW
+        assert store.stats.flush_batches == 1
+        first_flush = store.parity_writes
+        store.write(0, payload(32, seed=99))
+        store.flush()
+        assert store.parity_writes == 2 * first_flush
+
+    def test_checksums_written_once_per_flushed_element(self):
+        store = self.make()
+        store.write(0, payload(48, seed=3))
+        store.flush()
+        assert store.scrub_checksums(repair=False).clean
+
+    def test_fail_disk_flushes_first(self):
+        store = self.make()
+        data = payload(150, seed=4)
+        store.write(0, data)
+        store.fail_disk(2)
+        assert len(store.cache) == 0
+        assert store.read(0, 150) == data
+
+    def test_rebuild_after_cached_writes(self):
+        store = self.make()
+        data = payload(150, seed=5)
+        store.write(0, data)
+        store.fail_disk(1)
+        store.write(10, b"DEGRADED")
+        store.rebuild(1)
+        expect = bytearray(data)
+        expect[10:18] = b"DEGRADED"
+        assert store.read(0, 150) == bytes(expect)
+        assert store.scrub() == []
+
+    def test_degraded_write_to_dirty_stripe(self):
+        store = self.make()
+        store.write(0, payload(80, seed=6))
+        store.write(0, b"dirty")  # stripe is cached-dirty
+        store.fail_disk(0)
+        store.write(3, b"XYZ")  # degraded write must see flushed parity
+        store.rebuild(0)
+        assert store.read(0, 6) == b"dirXYZ"
+        assert store.scrub() == []
+
+    def test_python_engine_cache_matches(self):
+        cached = self.make(cache=3, engine="python")
+        plain = FileStore(HVCode(7), element_size=16)
+        data = payload(300, seed=7)
+        for store in (cached, plain):
+            store.write(0, data)
+            store.write(40, payload(60, seed=8))
+        cached.flush()
+        for a, b in zip(cached.stripes, plain.stripes):
+            assert a == b
+
+    def test_uint8_lane_elements(self):
+        # element_size not a multiple of 8: the executor's uint8 fallback
+        cached = self.make(cache=4, element_size=12)
+        plain = FileStore(HVCode(7), element_size=12)
+        data = payload(250, seed=9)
+        for store in (cached, plain):
+            store.write(0, data)
+            store.write(17, payload(33, seed=10))
+        cached.flush()
+        for a, b in zip(cached.stripes, plain.stripes):
+            assert a == b
+        assert cached.scrub() == []
+
+
+class TestParityWriteAccounting:
+    def test_multi_element_write_hits_each_parity_once(self):
+        # Regression: a multi-element same-stripe write used to RMW the
+        # shared parities once per element instead of once per stripe.
+        code = HVCode(7)
+        store = FileStore(code, element_size=8)
+        cells = code.data_positions[:3]
+        targets = code.write_targets(cells)
+        store.write(0, payload(3 * 8, seed=11))
+        assert store.parity_writes == len(targets)
+        assert store.scrub() == []
+
+    def test_cached_flush_parity_writes_match_write_targets(self):
+        code = HVCode(7)
+        store = FileStore(code, element_size=8, engine="vector", cache_stripes=2)
+        cells = code.data_positions[:4]
+        store.write(0, payload(4 * 8, seed=12))
+        store.flush()
+        assert store.parity_writes == len(code.write_targets(cells))
+        assert store.stats.flushed_elements == 4
+        assert store.stats.flush_batches == 1
+
+
+# -- the differential: cached == write-through, every registered code -----------------
+
+code_strategy = st.builds(
+    lambda cls, p: cls(p),
+    st.sampled_from(CODE_CLASSES),
+    st.sampled_from([5, 7]),
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    code=code_strategy,
+    seed=st.integers(min_value=0, max_value=2**31),
+    data=st.data(),
+)
+def test_cached_writes_match_write_through(code, seed, data):
+    """Random offset/size write sequences: cached bytes == plain bytes."""
+    element_size = data.draw(st.sampled_from([8, 12, 16]))
+    cache = data.draw(st.integers(1, 3))
+    cached = FileStore(
+        code, element_size=element_size, engine="vector", cache_stripes=cache
+    )
+    plain = FileStore(code, element_size=element_size)
+    span = 2 * cached.bytes_per_stripe
+    rng = np.random.default_rng(seed)
+    n_ops = data.draw(st.integers(1, 8))
+    for _ in range(n_ops):
+        offset = int(rng.integers(0, span))
+        size = int(rng.integers(1, 64))
+        chunk = bytes(rng.integers(0, 256, size, dtype=np.uint8))
+        cached.write(offset, chunk)
+        plain.write(offset, chunk)
+    assert cached.read(0, cached.capacity) == plain.read(0, plain.capacity)
+    cached.flush()
+    for a, b in zip(cached.stripes, plain.stripes):
+        assert a == b
+    assert cached.scrub() == []
+    assert cached.scrub_checksums(repair=False).clean

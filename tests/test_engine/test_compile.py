@@ -180,8 +180,8 @@ class TestPlanCache:
         a = compile_plan(code, "encode", cache=cache)
         b = compile_plan(code, "encode", cache=cache)
         assert a is b
-        assert cache.stats["hits"] == 1
-        assert cache.stats["misses"] == 1
+        assert cache.stats()["hits"] == 1
+        assert cache.stats()["misses"] == 1
 
     def test_distinct_keys_do_not_collide(self, cache):
         hv = get_code("HV", 5)
@@ -198,7 +198,7 @@ class TestPlanCache:
         compile_plan(code, "recover-single", (1,), cache=cache)
         compile_plan(code, "recover-single", (0,), cache=cache)  # refresh 0
         compile_plan(code, "recover-single", (2,), cache=cache)  # evicts 1
-        assert cache.stats["evictions"] == 1
+        assert cache.stats()["evictions"] == 1
         assert ("HV", 5, "recover-single", (0,), "greedy", True) in cache
         assert ("HV", 5, "recover-single", (1,), "greedy", True) not in cache
 
@@ -207,7 +207,7 @@ class TestPlanCache:
         compile_plan(code, "encode", cache=cache)
         cache.clear()
         assert len(cache) == 0
-        assert cache.stats == {"size": 0, "hits": 0, "misses": 0, "evictions": 0}
+        assert cache.stats() == {"size": 0, "hits": 0, "misses": 0, "evictions": 0}
 
     def test_rejects_nonpositive_maxsize(self):
         with pytest.raises(InvalidParameterError):
@@ -215,6 +215,6 @@ class TestPlanCache:
 
     def test_cache_none_bypasses_the_default(self):
         code = get_code("HV", 5)
-        before = PLAN_CACHE.stats["misses"]
+        before = PLAN_CACHE.stats()["misses"]
         compile_plan(code, "encode", cache=None)
-        assert PLAN_CACHE.stats["misses"] == before
+        assert PLAN_CACHE.stats()["misses"] == before

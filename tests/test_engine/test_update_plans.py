@@ -1,0 +1,175 @@
+"""Compiled ``update`` plans: delta semantics, fallback lanes, crossover.
+
+An update plan runs over a *delta* buffer — dirty data slots hold
+``old ⊕ new`` — and leaves each dirtied parity's delta in its own slot;
+:func:`apply_update` folds those into live stripes.  The oracle is
+:meth:`ArrayCode.update_elements` / :meth:`ArrayCode.apply_parity_deltas`.
+"""
+
+import numpy as np
+import pytest
+
+from repro.array.iostats import IOStats
+from repro.array.stripe import StripeBatch
+from repro.codes.registry import get_code
+from repro.engine import apply_update, choose_update_strategy, compile_plan, execute_plan
+from repro.engine.compile import PlanCache
+from repro.exceptions import PlanError
+
+CODES = ["HV", "RDP", "HDP", "X-Code", "H-Code", "EVENODD", "P-Code", "Liberation"]
+
+
+def _delta_stripe(code, base, news, element_size):
+    """Zero stripe with ``old ⊕ new`` in the dirty data slots."""
+    delta = code.make_stripe(element_size=element_size)
+    for pos, new in news.items():
+        delta.set(pos, base.get(pos) ^ new)
+    return delta
+
+
+class TestCompile:
+    @pytest.mark.parametrize("name", CODES)
+    def test_outputs_are_the_write_targets(self, name):
+        code = get_code(name, 5)
+        cells = tuple(code.data_positions[:3])
+        plan = compile_plan(code, "update", cells)
+        got = {divmod(slot, code.cols) for slot in plan.outputs}
+        assert got == set(code.write_targets(cells))
+
+    def test_pattern_records_the_dirty_cells(self):
+        code = get_code("HV", 7)
+        cells = tuple(code.data_positions[:2])
+        plan = compile_plan(code, "update", cells)
+        assert plan.op == "update"
+        assert plan.pattern == tuple(
+            sorted(r * code.cols + c for r, c in cells)
+        )
+
+    def test_empty_update_rejected(self):
+        code = get_code("HV", 5)
+        with pytest.raises(PlanError):
+            compile_plan(code, "update", ())
+
+    def test_parity_cell_rejected(self):
+        code = get_code("HV", 5)
+        with pytest.raises(PlanError):
+            compile_plan(code, "update", (code.parity_positions[0],))
+
+
+class TestExecution:
+    @pytest.mark.parametrize("name", CODES)
+    @pytest.mark.parametrize("element_size", [8, 3])  # 3: uint8-lane fallback
+    def test_delta_path_matches_oracle(self, name, element_size):
+        code = get_code(name, 5)
+        rng = np.random.default_rng(7)
+        base = code.random_stripe(element_size=element_size, seed=1)
+        cells = tuple(code.data_positions[:3])
+        news = {
+            pos: rng.integers(0, 256, element_size, dtype=np.uint8)
+            for pos in cells
+        }
+        plan = compile_plan(code, "update", cells)
+
+        oracle = base.copy()
+        code.update_elements(oracle, {p: b.copy() for p, b in news.items()})
+
+        target = base.copy()
+        delta = _delta_stripe(code, base, news, element_size)
+        execute_plan(plan, delta)
+        for pos, new in news.items():
+            target.set(pos, new)
+        apply_update(plan, delta, target)
+        assert target == oracle
+
+    def test_batch_delta_applies_to_stripe_list(self):
+        code = get_code("HV", 7)
+        element_size = 16
+        cells = tuple(code.data_positions[:2])
+        plan = compile_plan(code, "update", cells)
+        rng = np.random.default_rng(11)
+        bases = [
+            code.random_stripe(element_size=element_size, seed=s) for s in (1, 2, 3)
+        ]
+        oracles, targets = [], []
+        delta = StripeBatch(code.rows, code.cols, element_size, len(bases))
+        for i, base in enumerate(bases):
+            news = {
+                pos: rng.integers(0, 256, element_size, dtype=np.uint8)
+                for pos in cells
+            }
+            oracle = base.copy()
+            code.update_elements(oracle, {p: b.copy() for p, b in news.items()})
+            oracles.append(oracle)
+            target = base.copy()
+            for pos, new in news.items():
+                delta.data[i][pos] = base.get(pos) ^ new
+                target.set(pos, new)
+            targets.append(target)
+        execute_plan(plan, delta)
+        apply_update(plan, delta, targets)
+        assert targets == oracles
+
+    def test_apply_update_requires_update_plan(self):
+        code = get_code("HV", 5)
+        encode = compile_plan(code, "encode")
+        stripe = code.make_stripe(element_size=8)
+        with pytest.raises(PlanError):
+            apply_update(encode, stripe, stripe)
+
+    def test_apply_update_lane_mismatch_rejected(self):
+        code = get_code("HV", 5)
+        plan = compile_plan(code, "update", (code.data_positions[0],))
+        delta = StripeBatch(code.rows, code.cols, 8, 2)
+        stripes = [code.make_stripe(element_size=8)]  # 1 stripe, 2 lanes
+        with pytest.raises(PlanError):
+            apply_update(plan, delta, stripes)
+
+    def test_stats_charged_for_execute_and_apply(self):
+        code = get_code("HV", 5)
+        cells = tuple(code.data_positions[:2])
+        plan = compile_plan(code, "update", cells)
+        stats = IOStats(code.cols)
+        delta = code.make_stripe(element_size=8)
+        target = code.make_stripe(element_size=8)
+        execute_plan(plan, delta, stats=stats)
+        after_execute = stats.kernel_invocations
+        assert after_execute == plan.kernel_calls
+        apply_update(plan, delta, target, stats=stats)
+        assert stats.kernel_invocations == after_execute + len(plan.outputs)
+
+
+class TestCrossover:
+    def test_small_write_prefers_rmw(self):
+        code = get_code("HV", 11)
+        strategy, plan = choose_update_strategy(
+            code, (code.data_positions[0],)
+        )
+        assert strategy == "rmw"
+        assert plan.op == "update"
+
+    def test_mostly_dirty_stripe_prefers_reencode(self):
+        code = get_code("HV", 5)
+        strategy, plan = choose_update_strategy(
+            code, tuple(code.data_positions)
+        )
+        assert strategy == "reencode"
+        assert plan.op == "encode"
+
+
+class TestUpdatePlanCaching:
+    def test_hit_miss_counters(self):
+        cache = PlanCache(maxsize=8)
+        code = get_code("HV", 5)
+        cells = tuple(code.data_positions[:2])
+        compile_plan(code, "update", cells, cache=cache)
+        compile_plan(code, "update", cells, cache=cache)
+        stats = cache.stats()
+        assert stats == {"size": 1, "hits": 1, "misses": 1, "evictions": 0}
+
+    def test_eviction_counter(self):
+        cache = PlanCache(maxsize=1)
+        code = get_code("HV", 5)
+        compile_plan(code, "update", (code.data_positions[0],), cache=cache)
+        compile_plan(code, "update", (code.data_positions[1],), cache=cache)
+        assert cache.stats()["evictions"] == 1
+        assert len(cache) == 1
