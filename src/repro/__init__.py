@@ -12,8 +12,11 @@ The package is organized as:
 - :mod:`repro.workloads` — the paper's write/read trace generators.
 - :mod:`repro.recovery` — generic erasure decoding and the minimal-I/O
   recovery planners.
+- :mod:`repro.journal` — the CRC-framed parity intent log that makes
+  the write-back cache crash-consistent (torn-write recovery).
 - :mod:`repro.faults` — seeded fault injection, checksum scrubbing,
-  self-healing recovery, and orchestrated hot-spare rebuilds.
+  self-healing recovery, orchestrated hot-spare rebuilds, and the
+  kill-anywhere crash harness.
 - :mod:`repro.sim` — a discrete-event fleet-scale reliability and
   rebuild simulator (imported on demand; not pulled in by
   ``import repro``).
@@ -46,6 +49,8 @@ from .exceptions import (
     TransientIOError,
     LatentSectorError,
     ChecksumMismatchError,
+    CrashError,
+    JournalError,
     GFDomainError,
     StaticAnalysisError,
     CertificationError,
@@ -82,6 +87,8 @@ __all__ = [
     "TransientIOError",
     "LatentSectorError",
     "ChecksumMismatchError",
+    "CrashError",
+    "JournalError",
     "GFDomainError",
     "StaticAnalysisError",
     "CertificationError",

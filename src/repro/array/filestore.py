@@ -30,18 +30,37 @@ executes a single compiled ``update`` plan per pattern
 (:func:`repro.engine.compile.compile_plan`), falling back to a full
 re-encode when the cost model says the stripe is mostly dirty
 (:func:`repro.engine.compile.choose_update_strategy`).  CRC sidecars
-are refreshed once per flushed element, not once per overwrite.  The
-store is a context manager; leaving the ``with`` block flushes.
+are refreshed once per flushed element, not once per overwrite.
+
+Deferring parity opens the RAID-6 **write hole**, and a cached store
+therefore journals by default: every write frames an intent record in
+a :class:`~repro.journal.ParityIntentJournal` *before* any stripe byte
+mutates, every flushed stripe frames a commit after its parity and
+sidecars land, and the device is truncated when the cache drains.
+After a crash, :meth:`reopen_from` adopts the durable state (stripes,
+sidecar, failed disks, journal device) and :meth:`recover` replays
+complete records, discards the torn tail, and re-derives parity for
+every flagged stripe through the compiled encode plans — see
+``docs/JOURNAL.md`` for the protocol and :mod:`repro.faults.crash`
+for the kill-anywhere harness built on the store's ``crash_hook``.
+
+The store is a context manager: a clean exit flushes, but an exit
+with an exception propagating **discards** the dirty cache instead —
+rolling every dirty element back to its pre-image behind a journaled
+discard record — so a half-written poisoned stripe is never pushed
+into parity (a :class:`~repro.array.iostats.DirtyCacheDiscarded` note
+lands in :attr:`stats`).
 
 Every element carries a CRC32 sidecar entry
 (:class:`~repro.faults.checksum.ChecksumSidecar`) so silent corruption
 is detectable, and an optional :class:`~repro.faults.injector.
 FaultInjector` can be attached to fire scheduled faults as element I/O
-streams through (mutually exclusive with the write-back cache — a
-deferred parity update cannot honour per-element fault windows).
-Reads self-heal: an element hit by a latent sector error (URE) is
-transparently rebuilt through a parity chain, escalating to the full
-decoder when chains are poisoned (see :mod:`repro.faults.healing`).
+streams through; with a write-back cache the injector's clock also
+advances once per dirty element at flush time, when the deferred
+parity actually lands.  Reads self-heal: an element hit by a latent
+sector error (URE) is transparently rebuilt through a parity chain,
+escalating to the full decoder when chains are poisoned (see
+:mod:`repro.faults.healing`).
 
 Used by ``examples/file_storage_demo.py``, the fault-injection demo,
 the write-path benchmark (``repro bench-write``), and the end-to-end
@@ -63,7 +82,14 @@ from ..exceptions import (
 )
 from ..faults.checksum import ChecksumSidecar, crc_of
 from ..faults.healing import HealingStats, decode_resilient, recover_element
-from .iostats import IOStats
+from ..journal import (
+    JournalPiece,
+    ParityIntentJournal,
+    RecoveryReport,
+    apply_record,
+    undo_record,
+)
+from .iostats import DirtyCacheDiscarded, IOStats
 from .stripe import Stripe, StripeBatch
 from .stripe_cache import DirtyStripe, StripeCache
 
@@ -89,6 +115,7 @@ class FileStore:
         injector: "FaultInjector" | None = None,
         engine: str = "python",
         cache_stripes: int = 0,
+        journal: "ParityIntentJournal | bool | None" = None,
     ) -> None:
         if element_size <= 0:
             raise InvalidParameterError("element_size must be positive")
@@ -98,12 +125,6 @@ class FileStore:
             )
         if cache_stripes < 0:
             raise InvalidParameterError("cache_stripes must be >= 0")
-        if cache_stripes and injector is not None:
-            raise InvalidParameterError(
-                "a write-back cache cannot be combined with a fault "
-                "injector: deferred parity updates would bypass the "
-                "injector's per-element fault windows"
-            )
         self.code = code
         self.element_size = element_size
         self.engine = engine
@@ -115,6 +136,20 @@ class FileStore:
         self.healing = HealingStats()
         self.stats = IOStats(code.cols)
         self.cache = StripeCache(cache_stripes) if cache_stripes else None
+        # Write-ahead parity intent log.  ``None`` means "default":
+        # journal exactly when parity is deferred (the write hole only
+        # opens with a write-back cache); ``True``/``False``/an
+        # instance overrides.
+        if journal is None:
+            journal = bool(cache_stripes)
+        if journal is True:
+            journal = ParityIntentJournal()
+        elif journal is False:
+            journal = None
+        self.journal: ParityIntentJournal | None = journal
+        #: crash-harness trampoline: called with a site label at every
+        #: durable-I/O boundary (see :mod:`repro.faults.crash`).
+        self._crash_hook = None
         #: logical data elements written (payload landing, not parity)
         self.data_writes = 0
         #: parity elements physically rewritten (the RMW overhead)
@@ -122,13 +157,19 @@ class FileStore:
         if injector is not None:
             injector.attach(self)
 
-    # -- context manager: leaving the block flushes deferred parity --------------
+    # -- context manager: flush on clean exit, discard on error ------------------
 
     def __enter__(self) -> "FileStore":
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        self.flush()
+        if exc_type is None:
+            self.flush()
+        else:
+            # An exception is propagating: the dirty cache may hold a
+            # half-applied write.  Folding it into parity would launder
+            # poisoned bytes into consistency; roll back instead.
+            self.discard_dirty()
 
     # -- geometry --------------------------------------------------------------
 
@@ -174,6 +215,245 @@ class FileStore:
         except TransientIOError:
             return False
         return True
+
+    @property
+    def crash_hook(self):
+        return self._crash_hook
+
+    @crash_hook.setter
+    def crash_hook(self, hook) -> None:
+        # Arming the hook also arms the journal's per-append
+        # instrumentation (the two-half torn-write path); unarmed, the
+        # journal appends in one shot with no per-frame callbacks, so
+        # the harness costs nothing when it isn't watching.
+        self._crash_hook = hook
+        if self.journal is not None:
+            self.journal.io_hook = self._crash_point if hook is not None else None
+
+    def _crash_point(self, site: str) -> None:
+        """Fire the crash hook at a durable-I/O boundary.
+
+        Sites: ``journal-intent[-mid]``, ``journal-commit[-mid]``,
+        ``journal-discard[-mid]`` (fired by the journal device),
+        ``data-write``, ``flush-start``, ``parity-write``.  A hook that
+        raises models a power cut *at that instant*: everything already
+        written stays, everything after is lost.
+        """
+        if self._crash_hook is not None:
+            self._crash_hook(site)
+
+    # -- journal plumbing --------------------------------------------------------
+
+    def _journal_intent(
+        self,
+        stripe_idx: int,
+        stripe: Stripe,
+        pieces: list[Piece],
+        entry: DirtyStripe | None = None,
+    ) -> None:
+        """Flag the stripe's deferred parity before any data byte lands.
+
+        Write-ahead discipline: the intent frame (dirty pattern plus a
+        full pre-image of each first-touched element, the same snapshot
+        discipline as :class:`DirtyStripe`) is on the journal device
+        before the write mutates the stripe, so recovery always knows
+        which stripes may hold landed data over stale parity.  With a
+        cache entry only *first touches* are framed — a write that hits
+        only already-dirty elements is absorbed by the flag that is
+        already durable, which is what keeps the journal off the
+        small-write hot path.  Without an entry (write-through /
+        reconstruct-write) every write frames its pattern: the stripe
+        commits immediately after, so there is no flag to absorb into.
+        """
+        assert self.journal is not None
+        cols = self.code.cols
+        journal_pieces = []
+        if entry is not None:
+            seen_first: set[Position] = set()
+            for pos, within, _ in pieces:
+                if entry.is_dirty(pos) or pos in seen_first:
+                    continue  # absorbed: the stripe's flag is already durable
+                seen_first.add(pos)
+                journal_pieces.append(
+                    JournalPiece(
+                        pos[0] * cols + pos[1],
+                        within,
+                        b"",
+                        stripe.data[pos].tobytes(),
+                    )
+                )
+            if not journal_pieces:
+                return
+        else:
+            journal_pieces = [
+                JournalPiece(pos[0] * cols + pos[1], within, b"")
+                for pos, within, _ in pieces
+            ]
+        self.stats.record_journal(self.journal.log_intent(stripe_idx, journal_pieces))
+
+    def _journal_commit(self, stripe_idx: int) -> None:
+        """Void the stripe's intents: its parity and sidecars landed."""
+        if self.journal is not None:
+            self.stats.record_journal(self.journal.log_commit(stripe_idx))
+
+    def _maybe_checkpoint(self) -> None:
+        """Truncate the journal once nothing is deferred any more."""
+        if self.journal is not None and (self.cache is None or not len(self.cache)):
+            self.journal.checkpoint()
+
+    # -- crash recovery ----------------------------------------------------------
+
+    def discard_dirty(self) -> int:
+        """Roll every dirty cached stripe back to its pre-images.
+
+        The error-exit path: each dirty stripe is journaled with a
+        discard record *before* its rollback (write-ahead in both
+        directions — a crash mid-rollback replays deterministically),
+        then every first-touch pre-image is restored.  Returns the
+        number of stripes rolled back and leaves a
+        :class:`DirtyCacheDiscarded` note in :attr:`stats`.
+        """
+        if self.cache is None or not len(self.cache):
+            return 0
+        stripes_rolled = 0
+        elements = 0
+        for idx, entry in self.cache.discard_all():
+            if not entry.num_dirty:
+                continue
+            stripes_rolled += 1
+            if self.journal is not None:
+                self.stats.record_journal(self.journal.log_discard(idx))
+            stripe = self.stripes[idx]
+            for pos, old in entry.old.items():
+                r, c = pos
+                if stripe.erased[r, c]:
+                    continue
+                stripe.data[r, c] = old
+                stripe.latent[r, c] = False
+                elements += 1
+                self.stats.record_write(c)
+        if stripes_rolled:
+            self.stats.record_note(DirtyCacheDiscarded(stripes_rolled, elements))
+        self._maybe_checkpoint()
+        return stripes_rolled
+
+    def recover(self) -> RecoveryReport:
+        """Replay the journal and restore parity consistency.
+
+        The recovery contract (see ``docs/JOURNAL.md``): a write is
+        durable once its data bytes landed under an intent flag that is
+        fully on the journal device.  Replay trusts the log up to the
+        first torn frame, rolls back discarded intents (newest first),
+        redoes any payload-carrying pending pieces (oldest first),
+        then re-derives parity for every flagged stripe —
+        healthy stripes through the engine's compiled encode plans,
+        degraded ones chain-by-chain where every member is readable
+        (the rest are reported ``unrecovered``).  Finishes with a
+        checkpoint: the journal only ever describes in-flight work.
+        """
+        report = RecoveryReport()
+        if self.journal is None:
+            return report
+        replay = self.journal.replay()
+        report.records_scanned = len(replay.records)
+        report.torn_bytes = replay.torn_bytes
+        report.intents = replay.intents
+        report.commits = replay.commits
+        report.discards = replay.discards
+        cols = self.code.cols
+        for stripe_idx in replay.dirty_stripes():
+            if stripe_idx >= len(self.stripes):
+                continue  # an intent can never precede capacity growth
+            report.stripes_flagged += 1
+            stripe = self.stripes[stripe_idx]
+            for record in reversed(replay.discarded.get(stripe_idx, [])):
+                report.elements_undone += len(undo_record(record, stripe, cols))
+            for record in replay.pending.get(stripe_idx, []):
+                applied = apply_record(record, stripe, cols)
+                report.pieces_redone += len(applied)
+                for _, c in applied:
+                    self.stats.record_write(c)
+            self._restore_parity(stripe_idx, report)
+        self.journal.checkpoint()
+        return report
+
+    def _restore_parity(self, idx: int, report: RecoveryReport) -> None:
+        """Re-derive one flagged stripe's parity after replay.
+
+        Healthy stripes re-encode through the compiled plans (after a
+        cheap verify, so the report distinguishes "flagged but already
+        consistent" from "actually repaired").  Degraded stripes
+        recompute each parity whose chain is fully readable; a chain
+        with an erased or latent member cannot be re-derived from data
+        alone and is reported unrecovered — the write hole genuinely
+        loses information when it overlaps a disk failure.
+        """
+        stripe = self.stripes[idx]
+        if stripe.any_faults():
+            repaired = False
+            for chain in self.code.encode_order:
+                r, c = chain.parity
+                if stripe.erased[r, c]:
+                    continue  # gone with its disk; a rebuild re-derives it
+                if any(not stripe.readable(m) for m in chain.members):
+                    report.chains_skipped += 1
+                    report.unrecovered.append((idx, (r, c)))
+                    continue
+                fresh = stripe.xor_of(chain.members)
+                if not np.array_equal(fresh, stripe.data[r, c]):
+                    repaired = True
+                stripe.set((r, c), fresh)
+                self.sidecar.record(idx, (r, c), fresh)
+                self.stats.record_write(c)
+                self.parity_writes += 1
+            if repaired:
+                report.stripes_repaired += 1
+            # Refresh sidecars of the readable data cells the redo may
+            # have touched; erased cells keep their *logical* CRCs.
+            for pos in self.code.data_positions:
+                if stripe.readable(pos):
+                    self.sidecar.record(idx, pos, stripe.data[pos])
+        else:
+            consistent = self.code.verify(stripe)
+            self.code.encode(stripe, engine=self.engine)
+            if not consistent:
+                report.stripes_repaired += 1
+            self.sidecar.record_stripe(idx, stripe)
+            for pos in self.code.data_positions:
+                self.stats.record_read(pos[1])
+            for pos in self.code.parity_positions:
+                self.stats.record_write(pos[1])
+                self.parity_writes += 1
+
+    @classmethod
+    def reopen_from(
+        cls, crashed: "FileStore"
+    ) -> "tuple[FileStore, RecoveryReport]":
+        """Reopen a crashed store's durable state and run recovery.
+
+        Durable (adopted): the stripe buffers — they *are* the data
+        disks — the checksum sidecar, the failed-disk set, and the
+        journal device with whatever frames landed before the crash.
+        Volatile (lost): the stripe cache, counters, hooks, and any
+        attached injector.  Returns the recovered store and the
+        :class:`RecoveryReport` describing what replay found.
+        """
+        cache_stripes = crashed.cache.capacity if crashed.cache is not None else 0
+        journal: ParityIntentJournal | bool = False
+        if crashed.journal is not None:
+            journal = ParityIntentJournal(crashed.journal.device)
+        store = cls(
+            crashed.code,
+            element_size=crashed.element_size,
+            engine=crashed.engine,
+            cache_stripes=cache_stripes,
+            journal=journal,
+        )
+        store.stripes = crashed.stripes
+        store.sidecar = crashed.sidecar
+        store.failed_disks = set(crashed.failed_disks)
+        report = store.recover()
+        return store, report
 
     # -- failure management ----------------------------------------------------------
 
@@ -369,23 +649,38 @@ class FileStore:
         rewrites each parity element exactly once.
         """
         stripe = self.stripes[stripe_idx]
+        if self.journal is not None:
+            self._journal_intent(stripe_idx, stripe, pieces)
         updates = self._merge_pieces(stripe, pieces, charge_reads=True)
         rewritten = self.code.update_elements(stripe, updates)
         for pos, buf in updates.items():
             self.sidecar.record(stripe_idx, pos, buf)
             self.stats.record_write(pos[1])
             self.data_writes += 1
+        self._crash_point("data-write")
         for parity in sorted(rewritten):
             self.sidecar.record(stripe_idx, parity, stripe.get(parity))
             self.stats.record_read(parity[1])
             self.stats.record_write(parity[1])
             self.parity_writes += 1
+        self._crash_point("parity-write")
+        self._journal_commit(stripe_idx)
+        self._maybe_checkpoint()
 
     def _write_stripe_cached(self, stripe_idx: int, pieces: list[Piece]) -> None:
-        """Write-back: land the data bytes now, defer the parity delta."""
+        """Write-back: land the data bytes now, defer the parity delta.
+
+        Write-ahead discipline: the intent flag (dirty pattern plus
+        first-touch pre-images) is fully framed *before* the first data
+        byte mutates, so recovery can re-derive the stripe's parity
+        from whatever data landed; a crash mid-frame loses the write
+        atomically.
+        """
         assert self.cache is not None
         entry = self.cache.entry(stripe_idx, self.code.rows, self.code.cols)
         stripe = self.stripes[stripe_idx]
+        if self.journal is not None:
+            self._journal_intent(stripe_idx, stripe, pieces, entry)
         for pos, within, piece in pieces:
             element = stripe.data[pos]
             if entry.snapshot(pos, element):
@@ -395,6 +690,10 @@ class FileStore:
             )
             self.stats.record_write(pos[1])
             self.data_writes += 1
+        self._crash_point("data-write")
+        over = len(self.cache) - self.cache.capacity
+        if over > 0:
+            self._ping_flush_io(self.cache.items()[:over])
         evicted = self.cache.evict_over_capacity()
         if evicted:
             self._flush_entries(evicted)
@@ -407,6 +706,11 @@ class FileStore:
         stripe-wide persist instead of one of each per element.
         """
         stripe = self.stripes[stripe_idx]
+        if self.journal is not None:
+            # Flag-only intent (no pre-images: nothing to roll back, a
+            # reconstruct-write is never cached).  Recovery re-derives
+            # what parity the surviving chains allow.
+            self._journal_intent(stripe_idx, stripe, pieces)
         restored = self._reconstructed(stripe)
         updates = self._merge_pieces(restored, pieces, charge_reads=False)
         self.code.update_elements(restored, updates)
@@ -423,6 +727,9 @@ class FileStore:
         self.parity_writes += sum(
             1 for (_, c) in self.code.parity_positions if c not in self.failed_disks
         )
+        self._crash_point("parity-write")
+        self._journal_commit(stripe_idx)
+        self._maybe_checkpoint()
 
     # -- the flush path: deferred parity deltas land in batches --------------------
 
@@ -430,13 +737,37 @@ class FileStore:
         """Flush every dirty stripe's deferred parity; return how many."""
         if self.cache is None or not len(self.cache):
             return 0
+        self._crash_point("flush-start")
+        self._ping_flush_io(self.cache.items())
         return self._flush_entries(self.cache.pop_all())
 
     def _flush_stripe(self, stripe_idx: int) -> None:
         assert self.cache is not None
+        entry = self.cache.peek(stripe_idx)
+        if entry is not None:
+            self._ping_flush_io([(stripe_idx, entry)])
         entry = self.cache.pop(stripe_idx)
         if entry is not None:
             self._flush_entries([(stripe_idx, entry)])
+
+    def _ping_flush_io(self, entries: list[tuple[int, DirtyStripe]]) -> None:
+        """Advance the injector's clock once per dirty element to flush.
+
+        Runs *before* the entries are popped: a fired whole-disk crash
+        calls :meth:`fail_disk`, which reentrantly flushes the still-
+        cached entries while every column is present — deferred parity
+        lands first, the erasure follows, and the write hole stays
+        closed.  Entries drained by such a reentrant flush are skipped
+        for the remaining pings (and the caller's subsequent pop finds
+        them gone).
+        """
+        if self.injector is None:
+            return
+        for idx, entry in entries:
+            for pos in entry.dirty_positions():
+                if idx not in self.cache:
+                    break  # a reentrant flush already landed this entry
+                self._element_io(idx, pos, "flush")
 
     def _flush_entries(self, entries: list[tuple[int, DirtyStripe]]) -> int:
         """Land deferred parity for the given dirty stripes.
@@ -446,6 +777,11 @@ class FileStore:
         single compiled ``update`` plan (or a full re-encode when the
         cost model prefers it).  Degraded stripes and the pure-Python
         engine take the per-stripe chain walk instead.
+
+        An attached injector's clock was already advanced per dirty
+        element by :meth:`_ping_flush_io` before these entries were
+        popped.  Each flushed stripe is journal-committed once its
+        parity and sidecars are durable.
         """
         groups: dict[tuple[int, ...], list[tuple[int, DirtyStripe]]] = {}
         flushed = 0
@@ -475,6 +811,7 @@ class FileStore:
                 self._flush_group_reencode(pattern, group)
             else:
                 self._flush_group_rmw(pattern, plan, group)
+        self._maybe_checkpoint()
         return flushed
 
     def _flush_group_rmw(
@@ -498,6 +835,7 @@ class FileStore:
         apply_update(
             plan, delta, [self.stripes[idx] for idx, _ in group], stats=self.stats
         )
+        self._crash_point("parity-write")
         outputs = [divmod(slot, self.code.cols) for slot in plan.outputs]
         for idx, _ in group:
             stripe = self.stripes[idx]
@@ -508,6 +846,7 @@ class FileStore:
                 self.stats.record_read(pos[1])
                 self.stats.record_write(pos[1])
                 self.parity_writes += 1
+            self._journal_commit(idx)
         self.stats.record_flush(len(group) * len(cells))
 
     def _flush_group_reencode(
@@ -521,12 +860,14 @@ class FileStore:
                 if pos not in dirty_cells:
                     self.stats.record_read(pos[1])  # clean inputs of the encode
             self.code.encode(stripe, engine=self.engine)
+            self._crash_point("parity-write")
             for pos in sorted(dirty_cells):
                 self.sidecar.record(idx, pos, stripe.data[pos])
             for pos in self.code.parity_positions:
                 self.sidecar.record(idx, pos, stripe.data[pos])
                 self.stats.record_write(pos[1])
                 self.parity_writes += 1
+            self._journal_commit(idx)
         self.stats.record_flush(len(group) * len(dirty_cells))
 
     def _flush_python(self, idx: int, entry: DirtyStripe) -> None:
@@ -536,10 +877,18 @@ class FileStore:
         is still propagated to nested chains (its *logical* content
         shifts even though no disk write happens), matching what the
         decoder will reconstruct.
+
+        A dirty *data* cell that was erased before its parity landed is
+        the genuine write hole: the new bytes died with the disk, so
+        its delta is not folded and its sidecar keeps the pre-image CRC
+        — the cell's logical content remains the old data, which is
+        what decoding the untouched parity will reconstruct.
         """
         stripe = self.stripes[idx]
         deltas: dict[Position, np.ndarray] = {}
         for pos in entry.dirty_positions():
+            if stripe.erased[pos]:
+                continue
             deltas[pos] = np.bitwise_xor(stripe.data[pos], entry.old[pos])
             self.sidecar.record(idx, pos, stripe.data[pos])
         for chain in self.code.encode_order:
@@ -561,6 +910,8 @@ class FileStore:
             self.stats.record_read(c)
             self.stats.record_write(c)
             self.parity_writes += 1
+        self._crash_point("parity-write")
+        self._journal_commit(idx)
         self.stats.record_flush(entry.num_dirty)
 
     def __repr__(self) -> str:

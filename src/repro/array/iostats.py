@@ -9,6 +9,12 @@ Engine runs add a *compute* dimension: the vectorized executor
 (:mod:`repro.engine.executor`) records how many 64-bit word XORs and
 how many vector-kernel invocations a plan cost, so experiments can
 report compute cost alongside I/O cost from the same object.
+
+Journaled stores (:mod:`repro.journal`) add a third dimension: how
+many write-ahead records were framed and how many bytes they cost,
+plus a ``notes`` list of out-of-band events — today only
+:class:`DirtyCacheDiscarded`, surfaced when a store's context exit
+rolled back dirty cache entries instead of flushing them.
 """
 
 from __future__ import annotations
@@ -16,6 +22,25 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..exceptions import InvalidParameterError
+
+
+@dataclass(frozen=True)
+class DirtyCacheDiscarded:
+    """A context exit under an exception rolled back dirty stripes.
+
+    The store journals a discard record per dirty stripe, restores the
+    pre-images, and leaves this note so callers auditing the ledger can
+    see that writes were intentionally dropped rather than flushed.
+    """
+
+    stripes: int
+    elements: int
+
+    def render(self) -> str:
+        return (
+            f"dirty cache discarded on error exit: {self.stripes} stripe(s), "
+            f"{self.elements} element(s) rolled back"
+        )
 
 
 @dataclass
@@ -34,6 +59,12 @@ class IOStats:
     flush_batches: int = 0
     #: dirty data elements whose deferred parity landed in those flushes.
     flushed_elements: int = 0
+    #: write-ahead records framed by the parity intent journal.
+    journal_records: int = 0
+    #: bytes appended to the journal device by those records.
+    journal_bytes: int = 0
+    #: out-of-band events (e.g. :class:`DirtyCacheDiscarded`).
+    notes: list = field(default_factory=list)
 
     def __post_init__(self) -> None:
         if self.num_disks <= 0:
@@ -69,6 +100,17 @@ class IOStats:
             raise InvalidParameterError("flush counters must be >= 0")
         self.flushed_elements += elements
         self.flush_batches += batches
+
+    def record_journal(self, nbytes: int, records: int = 1) -> None:
+        """Charge ``records`` journal frame(s) totalling ``nbytes``."""
+        if nbytes < 0 or records < 0:
+            raise InvalidParameterError("journal counters must be >= 0")
+        self.journal_bytes += nbytes
+        self.journal_records += records
+
+    def record_note(self, note: object) -> None:
+        """Attach an out-of-band event to the ledger."""
+        self.notes.append(note)
 
     def _check(self, disk: int, count: int) -> None:
         if not 0 <= disk < self.num_disks:
@@ -112,6 +154,9 @@ class IOStats:
         self.kernel_invocations += other.kernel_invocations
         self.flush_batches += other.flush_batches
         self.flushed_elements += other.flushed_elements
+        self.journal_records += other.journal_records
+        self.journal_bytes += other.journal_bytes
+        self.notes.extend(other.notes)
 
     def copy(self) -> "IOStats":
         return IOStats(
@@ -122,6 +167,9 @@ class IOStats:
             self.kernel_invocations,
             self.flush_batches,
             self.flushed_elements,
+            self.journal_records,
+            self.journal_bytes,
+            list(self.notes),
         )
 
     def reset(self) -> None:
@@ -131,3 +179,6 @@ class IOStats:
         self.kernel_invocations = 0
         self.flush_batches = 0
         self.flushed_elements = 0
+        self.journal_records = 0
+        self.journal_bytes = 0
+        self.notes = []

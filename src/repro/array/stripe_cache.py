@@ -86,6 +86,7 @@ class StripeCache:
         self.evictions = 0
         self.flushes = 0
         self.flushed_elements = 0
+        self.discards = 0
         self._entries: OrderedDict[int, DirtyStripe] = OrderedDict()
 
     def __len__(self) -> int:
@@ -109,6 +110,16 @@ class StripeCache:
     def peek(self, stripe_idx: int) -> DirtyStripe | None:
         """The entry without an LRU bump (read-path dirtiness probe)."""
         return self._entries.get(stripe_idx)
+
+    def items(self) -> list[tuple[int, DirtyStripe]]:
+        """A snapshot of the entries, oldest first (no LRU bump).
+
+        The store's flush paths walk this to advance an attached fault
+        injector's clock per dirty element *before* popping anything —
+        a fired whole-disk crash reentrantly flushes the cache, and the
+        entries must still be present for that flush to land parity.
+        """
+        return list(self._entries.items())
 
     def pop(self, stripe_idx: int) -> DirtyStripe | None:
         """Remove and return one stripe's entry (a targeted flush)."""
@@ -135,6 +146,18 @@ class StripeCache:
             self.note_flushed(entry)
         return drained
 
+    def discard_all(self) -> list[tuple[int, DirtyStripe]]:
+        """Remove every entry *without* charging the flush counters.
+
+        The rollback drain: the store's error-exit path restores
+        pre-images instead of landing parity, so these entries were
+        never flushed — they count under ``discards`` instead.
+        """
+        drained = list(self._entries.items())
+        self._entries.clear()
+        self.discards += len(drained)
+        return drained
+
     def note_flushed(self, entry: DirtyStripe) -> None:
         self.flushes += 1
         self.flushed_elements += entry.num_dirty
@@ -149,12 +172,13 @@ class StripeCache:
             "evictions": self.evictions,
             "flushes": self.flushes,
             "flushed_elements": self.flushed_elements,
+            "discards": self.discards,
         }
 
     def reset_stats(self) -> None:
         """Zero the counters, keeping any dirty entries."""
         self.hits = self.misses = self.evictions = 0
-        self.flushes = self.flushed_elements = 0
+        self.flushes = self.flushed_elements = self.discards = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

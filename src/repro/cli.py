@@ -260,8 +260,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="JSON results file (default BENCH_write.json; '-' for stdout)",
     )
 
+    crash = sub.add_parser(
+        "crash-bench",
+        help="kill-anywhere crash matrix: cut power at every durable-I/O "
+        "boundary and verify journal recovery against a write-through oracle",
+    )
+    crash.add_argument(
+        "--code",
+        default=None,
+        help="run one code only (default: every registered code)",
+    )
+    crash.add_argument("--p", type=int, default=5, help="prime (default 5)")
+    crash.add_argument(
+        "--element-size", type=int, default=16, help="bytes per element"
+    )
+    crash.add_argument(
+        "--ops", type=int, default=8, help="writes per crash trace"
+    )
+    crash.add_argument(
+        "--cache", type=int, default=2, help="stripe-cache capacity"
+    )
+    crash.add_argument("--seed", type=int, default=0, help="trace seed")
+    crash.add_argument(
+        "--smoke",
+        action="store_true",
+        help="fixed CI run (HV+RDP at p=5), verified against the pinned "
+        "report hash",
+    )
+    crash.add_argument(
+        "--json", action="store_true", help="machine-readable JSON output"
+    )
+    crash.add_argument("--output", default=None)
+
     lint = sub.add_parser(
-        "lint", help="repo lint rules R001-R006 (AST-based, repo-specific)"
+        "lint", help="repo lint rules R001-R007 (AST-based, repo-specific)"
     )
     lint.add_argument(
         "paths",
@@ -676,6 +708,14 @@ def _run_bench_write(args: argparse.Namespace) -> int:
         f"parity writes {head['baseline']['parity_writes']} -> "
         f"{head['cached']['parity_writes']}"
     )
+    journaled = head["journaled"]
+    print(
+        f"journaled {journaled['mb_per_s']:.1f} MB/s "
+        f"({journaled['speedup_vs_baseline']:.1f}x baseline, "
+        f"{journaled['overhead_vs_cached']:.2f}x cached) with "
+        f"{journaled['journal_records']} intent/commit records, "
+        f"{journaled['journal_bytes'] / 1e6:.1f} MB journaled"
+    )
     by_code: dict[str, list] = {}
     for row in payload["sweep"]:
         by_code.setdefault(row["code"], []).append(row)
@@ -689,8 +729,43 @@ def _run_bench_write(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_crash_bench(args: argparse.Namespace) -> int:
+    """The crash matrix; exits non-zero on an unrecovered scenario."""
+    import json
+
+    from .faults.crash_bench import (
+        check_smoke_hash,
+        render_report,
+        run_crash_bench,
+    )
+
+    codes = (args.code,) if args.code else None
+    payload = run_crash_bench(
+        codes,
+        args.p,
+        element_size=args.element_size,
+        cache_stripes=args.cache,
+        ops=args.ops,
+        seed=args.seed,
+        smoke=args.smoke,
+    )
+    if args.json:
+        rendered = json.dumps(payload, indent=2, sort_keys=True)
+    else:
+        rendered = render_report(payload)
+    _emit(rendered, args.output, "crash-bench report")
+    if args.output:
+        # Keep the determinism fingerprint on stdout — the CI smoke
+        # step pins this line, mirroring `sim --smoke`.
+        print(f"report hash: {payload['report_hash']}")
+    if args.smoke:
+        check_smoke_hash(payload)  # raises CertificationError on drift
+        print("crash-bench smoke report matches the pinned hash")
+    return 0 if payload["all_ok"] else 1
+
+
 def _run_lint(args: argparse.Namespace) -> int:
-    """Run the R001-R006 catalogue; exits 1 when violations remain."""
+    """Run the R001-R007 catalogue; exits 1 when violations remain."""
     import json
 
     from .static import default_lint_target, lint_paths
@@ -732,6 +807,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "bench-write":
         return _run_bench_write(args)
+
+    if args.command == "crash-bench":
+        return _run_crash_bench(args)
 
     if args.command == "lint":
         return _run_lint(args)

@@ -25,7 +25,12 @@ Two measurements, one payload (``BENCH_write.json``):
   partial-stripe-write scenario), and the workload parameters are part
   of the payload so the claim is auditable.  Stripe allocation is
   excluded from both timers; byte-identity of the two stores is
-  asserted before any number is reported.
+  asserted before any number is reported.  A third **journaled** store
+  (the default ``cache_stripes`` configuration, which arms the
+  :mod:`repro.journal` parity intent log) replays the same trace so
+  the crash-consistency overhead is measured on the same headline:
+  ``journaled.overhead_vs_cached`` is the throughput ratio against the
+  pure-cache store, with the intent-record counts alongside.
 """
 
 from __future__ import annotations
@@ -170,7 +175,16 @@ def _bench_headline(
     io_size: int,
 ) -> dict:
     baseline = FileStore(code, element_size=element_size, engine="python")
+    # journal=False isolates the pure-cache number; the third store
+    # measures what the crash-consistency journal costs on top of it.
     cached = FileStore(
+        code,
+        element_size=element_size,
+        engine="vector",
+        cache_stripes=stripes,
+        journal=False,
+    )
+    journaled = FileStore(
         code, element_size=element_size, engine="vector", cache_stripes=stripes
     )
     ops = _headline_ops(
@@ -188,6 +202,7 @@ def _bench_headline(
     total = stripes * baseline.bytes_per_stripe
     baseline._ensure_capacity(total)
     cached._ensure_capacity(total)
+    journaled._ensure_capacity(total)
 
     t0 = time.perf_counter()
     for offset, payload in ops:
@@ -200,11 +215,19 @@ def _bench_headline(
             cached.write(offset, payload)
     t_cached = time.perf_counter() - t0
 
-    # The two paths must agree byte for byte; a fast wrong answer is
-    # not a benchmark result.
+    t0 = time.perf_counter()
+    with journaled:
+        for offset, payload in ops:
+            journaled.write(offset, payload)
+    t_journal = time.perf_counter() - t0
+
+    # The paths must agree byte for byte; a fast wrong answer is not a
+    # benchmark result.
     total = stripes * baseline.bytes_per_stripe
     if baseline.read(0, total) != cached.read(0, total):
         raise DecodeError("cached write path diverged from baseline bytes")
+    if baseline.read(0, total) != journaled.read(0, total):
+        raise DecodeError("journaled write path diverged from baseline bytes")
 
     return {
         "code": code.name,
@@ -236,6 +259,19 @@ def _bench_headline(
             "flush_batches": cached.stats.flush_batches,
             "flushed_elements": cached.stats.flushed_elements,
             "cache": cached.cache.stats(),
+        },
+        "journaled": {
+            "engine": "vector",
+            "cache_stripes": stripes,
+            "seconds": t_journal,
+            "mb_per_s": nbytes / t_journal / 1e6,
+            "parity_writes": journaled.parity_writes,
+            "data_writes": journaled.data_writes,
+            "journal_records": journaled.stats.journal_records,
+            "journal_bytes": journaled.stats.journal_bytes,
+            "speedup_vs_baseline": t_base / t_journal,
+            # <1.0 means the intent log costs throughput vs pure cache.
+            "overhead_vs_cached": t_cached / t_journal,
         },
         "speedup": t_base / t_cached,
         "parity_write_reduction": (

@@ -116,6 +116,30 @@ class ChecksumMismatchError(FaultInjectionError):
     """
 
 
+class CrashError(FaultInjectionError):
+    """A simulated whole-machine crash (power loss) at an I/O boundary.
+
+    Raised by the crash harness (:mod:`repro.faults.crash`) at a
+    scheduled instruction boundary: everything volatile (the stripe
+    cache, in-flight Python state) is lost, everything durable (stripe
+    buffers, checksum sidecars, the parity intent journal) survives
+    exactly as written so far.  Callers reopen the store with
+    :meth:`repro.array.filestore.FileStore.reopen_from` and recover.
+    """
+
+
+class JournalError(ReproError):
+    """The parity intent journal was misused or cannot serve a request.
+
+    Raised by :mod:`repro.journal` for malformed append requests (an
+    intent with no pieces, a payload exceeding its framed length) and
+    for record applications outside their domain (redo of a non-intent
+    record).  *Torn tails are not errors*: replay silently discards an
+    incomplete or CRC-corrupt trailing record, which is exactly the
+    crash semantics the journal exists to provide.
+    """
+
+
 class SimulationError(ReproError):
     """A simulator was driven into an illegal state.
 

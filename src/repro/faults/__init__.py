@@ -26,6 +26,13 @@ reliability simulator's Crashed/LatentError/Corrupted unit states).
 - :mod:`repro.faults.scenarios` — the Monte-Carlo scenario runner
   comparing codes under identical seeded fault plans (the ``repro
   faults`` CLI subcommand).
+- :mod:`repro.faults.crash` — the kill-anywhere crash harness:
+  :class:`CrashingStore` cuts power at a scheduled durable-I/O
+  boundary; :func:`crash_matrix` does it at *every* boundary and
+  differentially verifies each recovery against a write-through
+  oracle (see :mod:`repro.journal`).
+- :mod:`repro.faults.crash_bench` — the matrix as a pinned-hash CI
+  gate (``repro crash-bench --smoke``).
 """
 
 from .plan import FaultKind, FaultEvent, FaultPlan
@@ -34,6 +41,15 @@ from .checksum import ChecksumSidecar, ScrubReport, scrub_store
 from .healing import HealingStats, recover_element, decode_resilient
 from .rebuild_orchestrator import RebuildOrchestrator, RebuildReport
 from .scenarios import ScenarioResult, run_scenario, compare_codes
+from .crash import (
+    CrashingStore,
+    CrashMatrixResult,
+    CrashScenarioResult,
+    crash_matrix,
+    run_crash_scenario,
+    seeded_write_trace,
+)
+from .crash_bench import CRASH_SMOKE_HASH, check_smoke_hash, run_crash_bench
 
 __all__ = [
     "FaultKind",
@@ -51,4 +67,13 @@ __all__ = [
     "ScenarioResult",
     "run_scenario",
     "compare_codes",
+    "CrashingStore",
+    "CrashMatrixResult",
+    "CrashScenarioResult",
+    "crash_matrix",
+    "run_crash_scenario",
+    "seeded_write_trace",
+    "CRASH_SMOKE_HASH",
+    "check_smoke_hash",
+    "run_crash_bench",
 ]

@@ -1,0 +1,40 @@
+"""repro.journal — the parity intent log that closes the write hole.
+
+A flag-style write-intent log for :class:`~repro.array.filestore.
+FileStore`'s deferred parity updates: a cached write frames an intent
+record (dirty pattern + first-touch pre-images, no redo bytes — the
+data disks are the redo log) before touching a stripe, every flushed
+stripe frames a commit, and replay after a crash trusts the log up to
+the first torn frame.  See :mod:`repro.journal.log` for the frame
+format and :doc:`docs/JOURNAL.md` for the full protocol.
+"""
+
+from .log import (
+    COMMIT,
+    DISCARD,
+    INTENT,
+    JournalDevice,
+    JournalPiece,
+    JournalRecord,
+    JournalReplay,
+    ParityIntentJournal,
+    encode_record,
+    replay_device,
+)
+from .recovery import RecoveryReport, apply_record, undo_record
+
+__all__ = [
+    "COMMIT",
+    "DISCARD",
+    "INTENT",
+    "JournalDevice",
+    "JournalPiece",
+    "JournalRecord",
+    "JournalReplay",
+    "ParityIntentJournal",
+    "RecoveryReport",
+    "apply_record",
+    "encode_record",
+    "replay_device",
+    "undo_record",
+]

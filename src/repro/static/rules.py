@@ -1,4 +1,4 @@
-"""The repo-specific lint rule catalogue (R001-R006).
+"""The repo-specific lint rule catalogue (R001-R007).
 
 Each rule is an :class:`ast`-level check with a stable identifier,
 applied per file by :mod:`repro.static.lint`.  The rules encode
@@ -22,6 +22,11 @@ at the source level:
   the engine exists to run word-wide kernels, so a ``for i in
   range(...)`` whose body XORs subscripted elements is a performance
   bug there (the deliberate scalar oracle carries a waiver).
+- **R007** — :mod:`repro.journal` mutates disk state only inside the
+  two sanctioned replay functions (``apply_record`` / ``undo_record``):
+  every byte the journal touches must be covered by a framed record,
+  so a stray stripe write anywhere else in the package would bypass
+  the write-ahead contract.
 
 A violating line can be waived with a trailing ``# noqa: RXXX``
 comment (or a bare ``# noqa`` to waive every rule on the line).
@@ -435,6 +440,85 @@ class PerWordLoopRule(LintRule):
         return out
 
 
+class JournalMutationRule(LintRule):
+    """R007: journal code mutates stripes only in sanctioned replayers."""
+
+    rule_id = "R007"
+    summary = (
+        "disk mutation in repro.journal outside apply_record/undo_record "
+        "(every journal-driven byte must come from a framed record)"
+    )
+
+    SCOPED_PREFIXES = ("repro.journal",)
+    #: the only functions allowed to touch stripe state.
+    SANCTIONED = frozenset({"apply_record", "undo_record"})
+    #: Stripe methods that mutate disk contents or fault flags.
+    MUTATORS = frozenset(
+        {
+            "set", "erase", "erase_disks", "fill_random",
+            "mark_latent", "clear_latent", "flip_bits",
+        }
+    )
+
+    def _subscript_hits_data(self, node: ast.expr) -> bool:
+        """True when a subscript chain bottoms out at a ``.data`` attr."""
+        cur = node
+        while isinstance(cur, ast.Subscript):
+            cur = cur.value
+        return isinstance(cur, ast.Attribute) and cur.attr == "data"
+
+    def check(self, ctx: FileContext) -> list[LintViolation]:
+        scoped = any(
+            ctx.module == prefix or ctx.module.startswith(prefix + ".")
+            for prefix in self.SCOPED_PREFIXES
+        )
+        if not scoped:
+            return []
+        owners = _enclosing_functions(ctx.tree)
+        out: list[LintViolation] = []
+
+        def sanctioned(node: ast.AST) -> bool:
+            return bool(self.SANCTIONED & set(owners.get(node, [])))
+
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                for target in targets:
+                    if isinstance(target, ast.Subscript) and (
+                        self._subscript_hits_data(target)
+                    ):
+                        if not sanctioned(node):
+                            out.append(
+                                self.violation(
+                                    ctx,
+                                    node,
+                                    "stripe buffer write outside "
+                                    "apply_record/undo_record; journal code "
+                                    "may only mutate disks through a framed "
+                                    "record replay",
+                                )
+                            )
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in self.MUTATORS
+                    and not sanctioned(node)
+                ):
+                    out.append(
+                        self.violation(
+                            ctx,
+                            node,
+                            f".{func.attr}() mutator call outside "
+                            "apply_record/undo_record; journal code may only "
+                            "mutate disks through a framed record replay",
+                        )
+                    )
+        return out
+
+
 #: The catalogue, in rule-id order.
 ALL_RULES: tuple[LintRule, ...] = (
     UnseededRandomRule(),
@@ -443,6 +527,7 @@ ALL_RULES: tuple[LintRule, ...] = (
     MutableDefaultRule(),
     ChainConstructionRule(),
     PerWordLoopRule(),
+    JournalMutationRule(),
 )
 
 RULES_BY_ID: dict[str, LintRule] = {rule.rule_id: rule for rule in ALL_RULES}

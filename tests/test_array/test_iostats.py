@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.array.iostats import IOStats
+from repro.array.iostats import DirtyCacheDiscarded, IOStats
 from repro.exceptions import InvalidParameterError
 
 
@@ -123,3 +123,52 @@ class TestFlushCounters:
         assert a.flushed_elements == 5
         a.reset()
         assert (a.flush_batches, a.flushed_elements) == (0, 0)
+
+
+class TestJournalCounters:
+    def test_record_journal_accumulates(self):
+        s = IOStats(3)
+        s.record_journal(120)
+        s.record_journal(512, records=3)
+        assert s.journal_records == 4
+        assert s.journal_bytes == 632
+
+    def test_rejects_negative_journal(self):
+        s = IOStats(1)
+        with pytest.raises(InvalidParameterError):
+            s.record_journal(-1)
+        with pytest.raises(InvalidParameterError):
+            s.record_journal(1, records=-1)
+
+    def test_merge_copy_reset_cover_journal(self):
+        a, b = IOStats(2), IOStats(2)
+        a.record_journal(100)
+        b.record_journal(50, records=2)
+        a.merge(b)
+        assert (a.journal_records, a.journal_bytes) == (3, 150)
+        dup = a.copy()
+        dup.record_journal(1)
+        assert a.journal_bytes == 150
+        a.reset()
+        assert (a.journal_records, a.journal_bytes) == (0, 0)
+
+
+class TestNotes:
+    def test_record_note_and_render(self):
+        s = IOStats(2)
+        note = DirtyCacheDiscarded(stripes=2, elements=5)
+        s.record_note(note)
+        assert s.notes == [note]
+        assert "2 stripe(s)" in note.render()
+        assert "5 element(s)" in note.render()
+
+    def test_merge_extends_and_copy_isolates_notes(self):
+        a, b = IOStats(2), IOStats(2)
+        b.record_note(DirtyCacheDiscarded(stripes=1, elements=1))
+        a.merge(b)
+        assert len(a.notes) == 1
+        dup = a.copy()
+        dup.record_note(DirtyCacheDiscarded(stripes=9, elements=9))
+        assert len(a.notes) == 1
+        a.reset()
+        assert a.notes == []

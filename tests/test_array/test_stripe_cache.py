@@ -121,6 +121,58 @@ class TestStripeCache:
         assert cache.stats()["misses"] == 0
         assert 0 in cache
 
+    def test_pop_of_absent_stripe_charges_nothing(self):
+        cache = StripeCache(2)
+        assert cache.pop(42) is None
+        assert cache.flushes == 0
+        assert cache.flushed_elements == 0
+
+    def test_pop_of_entry_never_snapshotted(self):
+        # An entry can exist with zero dirty elements (created, then
+        # the write failed before its first snapshot); popping it is a
+        # flush of nothing.
+        cache = StripeCache(2)
+        cache.entry(7, 2, 3)
+        entry = cache.pop(7)
+        assert entry is not None and entry.num_dirty == 0
+        assert cache.flushes == 1
+        assert cache.flushed_elements == 0
+        assert 7 not in cache
+
+    def test_reset_stats_after_partial_flush(self):
+        cache = StripeCache(4)
+        buf = np.zeros(2, dtype=np.uint8)
+        cache.entry(0, 2, 3).snapshot((0, 0), buf)
+        cache.entry(1, 2, 3).snapshot((0, 1), buf)
+        cache.pop(0)  # partial flush, then a counter epoch starts
+        cache.reset_stats()
+        assert cache.stats()["flushes"] == 0
+        drained = cache.pop_all()
+        assert [idx for idx, _ in drained] == [1]
+        assert cache.stats()["flushes"] == 1
+        assert cache.stats()["flushed_elements"] == 1
+
+    def test_items_is_a_snapshot(self):
+        cache = StripeCache(4)
+        cache.entry(0, 2, 3)
+        cache.entry(1, 2, 3)
+        snapshot = cache.items()
+        cache.pop(0)
+        assert [idx for idx, _ in snapshot] == [0, 1]
+        assert len(cache) == 1
+
+    def test_discard_all_charges_discards_not_flushes(self):
+        cache = StripeCache(4)
+        buf = np.zeros(2, dtype=np.uint8)
+        cache.entry(0, 2, 3).snapshot((0, 0), buf)
+        cache.entry(1, 2, 3).snapshot((1, 2), buf)
+        drained = cache.discard_all()
+        assert [idx for idx, _ in drained] == [0, 1]
+        assert len(cache) == 0
+        assert cache.stats()["discards"] == 2
+        assert cache.stats()["flushes"] == 0
+        assert cache.stats()["flushed_elements"] == 0
+
 
 class TestCachedFileStore:
     def make(self, cache=4, engine="vector", element_size=16, p=7):
@@ -131,10 +183,36 @@ class TestCachedFileStore:
             cache_stripes=cache,
         )
 
-    def test_cache_and_injector_are_mutually_exclusive(self):
+    def test_cache_combines_with_injector(self):
+        # The blanket exclusion is gone: with journaled flushes the
+        # injector's windows are well-defined at flush time.
         code = HVCode(5)
-        with pytest.raises(InvalidParameterError):
-            FileStore(code, injector=FaultInjector(FaultPlan()), cache_stripes=2)
+        injector = FaultInjector(FaultPlan())
+        store = FileStore(code, element_size=16, injector=injector, cache_stripes=2)
+        store.write(0, payload(48, seed=20))
+        ops_before_flush = injector.ops
+        store.flush()
+        # The injector clock advances once per flushed dirty element.
+        assert injector.ops == ops_before_flush + 3
+        assert store.scrub() == []
+
+    def test_injector_disk_crash_fires_at_flush_time(self):
+        from repro.faults.plan import FaultEvent, FaultKind
+
+        code = HVCode(5)
+        plan = FaultPlan(
+            events=[FaultEvent(kind=FaultKind.DISK_CRASH, at_op=4, disk=1)]
+        )
+        injector = FaultInjector(plan)
+        store = FileStore(code, element_size=16, injector=injector, cache_stripes=4)
+        data = payload(3 * 16, seed=21)
+        store.write(0, data)  # 3 write pings: crash not yet due
+        assert not store.failed_disks
+        store.flush()  # flush pings advance the clock past at_op=4
+        assert store.failed_disks == {1}
+        assert store.read(0, len(data)) == data  # degraded read works
+        store.rebuild(1)
+        assert store.scrub() == []
 
     def test_parity_deferred_until_flush(self):
         store = self.make()
@@ -195,6 +273,21 @@ class TestCachedFileStore:
         store.fail_disk(2)
         assert len(store.cache) == 0
         assert store.read(0, 150) == data
+
+    def test_degraded_writes_bypass_the_cache(self):
+        # Reconstruct-writes commit synchronously: while a disk is
+        # down nothing accumulates, so eviction can never fire against
+        # a degraded stripe.
+        store = self.make(cache=2)
+        store.fail_disk(1)
+        for i in range(4):  # more stripes than the cache holds
+            store.write(i * store.bytes_per_stripe, payload(32, seed=10 + i))
+        assert len(store.cache) == 0
+        assert store.cache.stats()["evictions"] == 0
+        for i in range(4):
+            assert store.read(i * store.bytes_per_stripe, 32) == payload(
+                32, seed=10 + i
+            )
 
     def test_rebuild_after_cached_writes(self):
         store = self.make()

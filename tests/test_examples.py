@@ -57,6 +57,21 @@ class TestExamples:
         assert "NO" not in out  # every code agrees with the closed form
         assert "switching UREs on" in out
 
+    def test_crash_recovery_demo(self):
+        out = run_example("crash_recovery_demo.py")
+        assert "power cut: simulated power cut" in out
+        assert "recovered image matches the write-through oracle: True" in out
+        assert "parity scrub finds 0 inconsistent stripes" in out
+        assert "checksum scrub clean: True" in out
+
+    def test_crash_recovery_demo_intent_boundary(self):
+        # Boundary 0 is the first intent half-frame: the write is lost
+        # atomically and recovery still matches the oracle.
+        out = run_example("crash_recovery_demo.py", "0")
+        assert "boundary 0 (journal-intent-mid)" in out
+        assert "writes durable at the instant of the crash: 0/8" in out
+        assert "recovered image matches the write-through oracle: True" in out
+
     def test_code_explorer(self):
         out = run_example("code_explorer.py", "5")
         for name in ("HV", "RDP", "X-Code", "Liberation", "Cauchy-RS"):

@@ -1,4 +1,4 @@
-"""Tests for the repo linter (rules R001-R006)."""
+"""Tests for the repo linter (rules R001-R007)."""
 
 import textwrap
 
@@ -296,6 +296,74 @@ class TestR006PerWordLoop:
         assert report.clean
 
 
+class TestR007JournalMutation:
+    def _journal_pkg(self, tmp_path):
+        pkg = tmp_path / "repro"
+        (pkg / "journal").mkdir(parents=True)
+        (pkg / "__init__.py").write_text("")
+        (pkg / "journal" / "__init__.py").write_text("")
+
+    def test_flags_buffer_write_outside_replayers(self, tmp_path):
+        self._journal_pkg(tmp_path)
+        violations = lint_source(
+            tmp_path,
+            """
+            def sneak(stripe, payload):
+                stripe.data[0, 1][4:8] = payload
+            """,
+            name="repro/journal/sneaky.py",
+        )
+        assert [v.rule for v in violations] == ["R007"]
+        assert "framed record" in violations[0].message
+
+    def test_flags_mutator_call_outside_replayers(self, tmp_path):
+        self._journal_pkg(tmp_path)
+        violations = lint_source(
+            tmp_path,
+            """
+            def sneak(stripe, buf):
+                stripe.set((0, 1), buf)
+            """,
+            name="repro/journal/mutcall.py",
+        )
+        assert [v.rule for v in violations] == ["R007"]
+
+    def test_allows_mutation_inside_apply_and_undo(self, tmp_path):
+        self._journal_pkg(tmp_path)
+        violations = lint_source(
+            tmp_path,
+            """
+            def apply_record(record, stripe, cols):
+                stripe.data[0, 1][0:4] = record.payload
+                stripe.clear_latent((0, 1))
+
+            def undo_record(record, stripe, cols):
+                stripe.data[0, 1] = record.preimage
+            """,
+            name="repro/journal/replayers.py",
+        )
+        assert violations == ()
+
+    def test_ignores_mutation_outside_journal_package(self, tmp_path):
+        violations = lint_source(
+            tmp_path,
+            """
+            def fine(stripe, payload):
+                stripe.data[0, 1][4:8] = payload
+                stripe.set((0, 1), payload)
+            """,
+        )
+        assert violations == ()
+
+    def test_shipped_journal_package_is_clean(self):
+        from pathlib import Path
+
+        from repro import journal
+
+        report = lint_paths([Path(journal.__file__).parent], rule_ids=["R007"])
+        assert report.clean
+
+
 class TestWaivers:
     def test_noqa_with_rule_id_waives(self, tmp_path):
         violations = lint_source(
@@ -368,10 +436,10 @@ class TestDriver:
 
     def test_catalogue_is_complete(self):
         assert [r.rule_id for r in ALL_RULES] == [
-            "R001", "R002", "R003", "R004", "R005", "R006",
+            "R001", "R002", "R003", "R004", "R005", "R006", "R007",
         ]
         assert set(RULES_BY_ID) == {
-            "R001", "R002", "R003", "R004", "R005", "R006",
+            "R001", "R002", "R003", "R004", "R005", "R006", "R007",
         }
 
     def test_report_json_shape(self, tmp_path):
