@@ -20,6 +20,10 @@ The package is organized as:
 - :mod:`repro.sim` — a discrete-event fleet-scale reliability and
   rebuild simulator (imported on demand; not pulled in by
   ``import repro``).
+- :mod:`repro.service` — the sharded concurrent volume service: a
+  `VolumePool` of per-shard stores behind readers-writer locks, a
+  bounded-queue request scheduler, and the oracle-checked serve-bench
+  (imported on demand; not pulled in by ``import repro``).
 - :mod:`repro.experiments` — one module per paper figure/table.
 
 Quickstart::
@@ -45,6 +49,9 @@ from .exceptions import (
     SimulationError,
     InvalidSimConfigError,
     WorkloadError,
+    ServiceError,
+    BackpressureError,
+    ConcurrentMutationError,
     FaultInjectionError,
     TransientIOError,
     LatentSectorError,
@@ -83,6 +90,9 @@ __all__ = [
     "SimulationError",
     "InvalidSimConfigError",
     "WorkloadError",
+    "ServiceError",
+    "BackpressureError",
+    "ConcurrentMutationError",
     "FaultInjectionError",
     "TransientIOError",
     "LatentSectorError",

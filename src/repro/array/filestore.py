@@ -69,12 +69,15 @@ tests.
 
 from __future__ import annotations
 
+import threading
+from contextlib import contextmanager
 from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..exceptions import (
     ChecksumMismatchError,
+    ConcurrentMutationError,
     InvalidParameterError,
     PlanError,
     TransientIOError,
@@ -150,6 +153,8 @@ class FileStore:
         #: crash-harness trampoline: called with a site label at every
         #: durable-I/O boundary (see :mod:`repro.faults.crash`).
         self._crash_hook = None
+        #: tripwire for the structural-op exclusivity contract (below).
+        self._op_lock = threading.RLock()
         #: logical data elements written (payload landing, not parity)
         self.data_writes = 0
         #: parity elements physically rewritten (the RMW overhead)
@@ -198,6 +203,46 @@ class FileStore:
             for disk in self.failed_disks:
                 stripe.erase_disks([disk])
             self.stripes.append(stripe)
+
+    def reserve(self, num_stripes: int) -> None:
+        """Pre-allocate the volume out to ``num_stripes`` stripes.
+
+        The store normally grows lazily on write; a served shard wants
+        its full extent encoded up front so capacity never changes
+        under a concurrent op stream (and so a read ahead of any write
+        is a defined, all-zero answer rather than a range error).
+        """
+        if num_stripes < 0:
+            raise InvalidParameterError("num_stripes must be >= 0")
+        self._ensure_capacity(num_stripes * self.bytes_per_stripe)
+
+    # -- structural-op exclusivity ------------------------------------------------
+
+    @contextmanager
+    def _exclusive(self, op: str):
+        """Tripwire: structural ops must not interleave across threads.
+
+        ``flush``/``recover``/``fail_disk``/``rebuild`` rewrite parity,
+        drain the cache, or re-shape erasure state across many stripes;
+        two threads interleaving them on one store would corrupt it in
+        ways no counter could detect.  The store does **not** serialize
+        callers — that is the owning :class:`~repro.service.ShardLock`'s
+        job — it *detects* the contract being broken and raises
+        :class:`~repro.exceptions.ConcurrentMutationError` immediately
+        instead of corrupting silently.  The underlying RLock keeps
+        same-thread reentrancy legal (``fail_disk`` and ``rebuild``
+        flush internally; an injector's whole-disk crash fires
+        ``fail_disk`` from inside a flush).
+        """
+        if not self._op_lock.acquire(blocking=False):
+            raise ConcurrentMutationError(
+                f"{op}() entered while another thread runs a structural "
+                "op on this store; serialize through the shard's lock"
+            )
+        try:
+            yield
+        finally:
+            self._op_lock.release()
 
     # -- fault plumbing ----------------------------------------------------------
 
@@ -354,27 +399,30 @@ class FileStore:
         report = RecoveryReport()
         if self.journal is None:
             return report
-        replay = self.journal.replay()
-        report.records_scanned = len(replay.records)
-        report.torn_bytes = replay.torn_bytes
-        report.intents = replay.intents
-        report.commits = replay.commits
-        report.discards = replay.discards
-        cols = self.code.cols
-        for stripe_idx in replay.dirty_stripes():
-            if stripe_idx >= len(self.stripes):
-                continue  # an intent can never precede capacity growth
-            report.stripes_flagged += 1
-            stripe = self.stripes[stripe_idx]
-            for record in reversed(replay.discarded.get(stripe_idx, [])):
-                report.elements_undone += len(undo_record(record, stripe, cols))
-            for record in replay.pending.get(stripe_idx, []):
-                applied = apply_record(record, stripe, cols)
-                report.pieces_redone += len(applied)
-                for _, c in applied:
-                    self.stats.record_write(c)
-            self._restore_parity(stripe_idx, report)
-        self.journal.checkpoint()
+        with self._exclusive("recover"):
+            replay = self.journal.replay()
+            report.records_scanned = len(replay.records)
+            report.torn_bytes = replay.torn_bytes
+            report.intents = replay.intents
+            report.commits = replay.commits
+            report.discards = replay.discards
+            cols = self.code.cols
+            for stripe_idx in replay.dirty_stripes():
+                if stripe_idx >= len(self.stripes):
+                    continue  # an intent can never precede capacity growth
+                report.stripes_flagged += 1
+                stripe = self.stripes[stripe_idx]
+                for record in reversed(replay.discarded.get(stripe_idx, [])):
+                    report.elements_undone += len(
+                        undo_record(record, stripe, cols)
+                    )
+                for record in replay.pending.get(stripe_idx, []):
+                    applied = apply_record(record, stripe, cols)
+                    report.pieces_redone += len(applied)
+                    for _, c in applied:
+                        self.stats.record_write(c)
+                self._restore_parity(stripe_idx, report)
+            self.journal.checkpoint()
         return report
 
     def _restore_parity(self, idx: int, report: RecoveryReport) -> None:
@@ -469,13 +517,14 @@ class FileStore:
             raise UnrecoverableFailureError(
                 "a third concurrent disk failure exceeds RAID-6"
             )
-        # Deferred parity must land while every column is still present;
-        # after the erasure the cached pre-images would describe cells
-        # the decoder can no longer see consistently.
-        self.flush()
-        self.failed_disks.add(disk)
-        for stripe in self.stripes:
-            stripe.erase_disks([disk])
+        with self._exclusive("fail_disk"):
+            # Deferred parity must land while every column is still
+            # present; after the erasure the cached pre-images would
+            # describe cells the decoder can no longer see consistently.
+            self.flush()
+            self.failed_disks.add(disk)
+            for stripe in self.stripes:
+                stripe.erase_disks([disk])
 
     def rebuild(self, disk: int) -> None:
         """Reconstruct a failed disk's content and bring it back.
@@ -488,19 +537,20 @@ class FileStore:
         """
         if disk not in self.failed_disks:
             raise InvalidParameterError(f"disk {disk} is not failed")
-        self.flush()
-        for idx, stripe in enumerate(self.stripes):
-            restored = self._reconstructed(stripe)
-            for r in range(self.code.rows):
-                buf = restored.get((r, disk))
-                if crc_of(buf) != self.sidecar.expected(idx, (r, disk)):
-                    raise ChecksumMismatchError(
-                        f"rebuild of disk {disk}: stripe {idx} element "
-                        f"({r}, {disk}) decoded to content that fails its "
-                        "checksum — scrub before rebuilding"
-                    )
-                stripe.set((r, disk), buf)
-        self.failed_disks.discard(disk)
+        with self._exclusive("rebuild"):
+            self.flush()
+            for idx, stripe in enumerate(self.stripes):
+                restored = self._reconstructed(stripe)
+                for r in range(self.code.rows):
+                    buf = restored.get((r, disk))
+                    if crc_of(buf) != self.sidecar.expected(idx, (r, disk)):
+                        raise ChecksumMismatchError(
+                            f"rebuild of disk {disk}: stripe {idx} element "
+                            f"({r}, {disk}) decoded to content that fails "
+                            "its checksum — scrub before rebuilding"
+                        )
+                    stripe.set((r, disk), buf)
+            self.failed_disks.discard(disk)
 
     def scrub(self) -> list[int]:
         """Verify parity of every healthy stripe; return bad indices."""
@@ -734,12 +784,17 @@ class FileStore:
     # -- the flush path: deferred parity deltas land in batches --------------------
 
     def flush(self) -> int:
-        """Flush every dirty stripe's deferred parity; return how many."""
+        """Flush every dirty stripe's deferred parity; return how many.
+
+        Must not interleave with another structural op from a second
+        thread (see :meth:`_exclusive`).
+        """
         if self.cache is None or not len(self.cache):
             return 0
-        self._crash_point("flush-start")
-        self._ping_flush_io(self.cache.items())
-        return self._flush_entries(self.cache.pop_all())
+        with self._exclusive("flush"):
+            self._crash_point("flush-start")
+            self._ping_flush_io(self.cache.items())
+            return self._flush_entries(self.cache.pop_all())
 
     def _flush_stripe(self, stripe_idx: int) -> None:
         assert self.cache is not None

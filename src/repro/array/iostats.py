@@ -158,6 +158,21 @@ class IOStats:
         self.journal_bytes += other.journal_bytes
         self.notes.extend(other.notes)
 
+    @classmethod
+    def merged(cls, num_disks: int, parts: "list[IOStats]") -> "IOStats":
+        """Fold many ledgers into one fresh ledger.
+
+        The fold is commutative and lossless — ``merged(n, split)``
+        equals the un-split ledger however the ops were partitioned —
+        which is what lets :meth:`repro.service.VolumePool.merged_stats`
+        sum per-shard ledgers into one pool-wide view (property-tested
+        in ``tests/test_service/test_stats.py``).
+        """
+        total = cls(num_disks)
+        for part in parts:
+            total.merge(part)
+        return total
+
     def copy(self) -> "IOStats":
         return IOStats(
             self.num_disks,

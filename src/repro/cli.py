@@ -292,8 +292,63 @@ def build_parser() -> argparse.ArgumentParser:
     )
     crash.add_argument("--output", default=None)
 
+    serve = sub.add_parser(
+        "serve-bench",
+        help="many-client serving benchmark: a seeded Zipf trace through "
+        "the sharded concurrent volume service, with a single-threaded "
+        "differential oracle and a rebuild-contention phase",
+    )
+    serve.add_argument(
+        "--code",
+        default=None,
+        help="run one code only (default: every registered code)",
+    )
+    serve.add_argument("--p", type=int, default=5, help="prime (default 5)")
+    serve.add_argument(
+        "--ops", type=int, default=50_000, help="trace length per code"
+    )
+    serve.add_argument(
+        "--stripes", type=int, default=64, help="stripes in the volume"
+    )
+    serve.add_argument(
+        "--shards", type=int, default=4, help="shards in the pool"
+    )
+    serve.add_argument(
+        "--workers", type=int, default=4, help="scheduler worker threads"
+    )
+    serve.add_argument(
+        "--policy",
+        choices=("range", "hash"),
+        default="range",
+        help="stripe-to-shard placement policy",
+    )
+    serve.add_argument(
+        "--element-size", type=int, default=1024, help="bytes per element"
+    )
+    serve.add_argument(
+        "--cache", type=int, default=8, help="stripe-cache capacity per shard"
+    )
+    serve.add_argument("--seed", type=int, default=0, help="trace seed")
+    serve.add_argument(
+        "--headline-ops",
+        type=int,
+        default=0,
+        help="append one HV run at this trace length (the acceptance-"
+        "scale configuration; 0 skips it)",
+    )
+    serve.add_argument(
+        "--smoke",
+        action="store_true",
+        help="fixed CI run (HV+RDP, 2 shards), verified against the "
+        "pinned report hash",
+    )
+    serve.add_argument(
+        "--json", action="store_true", help="machine-readable JSON output"
+    )
+    serve.add_argument("--output", default=None)
+
     lint = sub.add_parser(
-        "lint", help="repo lint rules R001-R007 (AST-based, repo-specific)"
+        "lint", help="repo lint rules R001-R008 (AST-based, repo-specific)"
     )
     lint.add_argument(
         "paths",
@@ -764,8 +819,48 @@ def _run_crash_bench(args: argparse.Namespace) -> int:
     return 0 if payload["all_ok"] else 1
 
 
+def _run_serve_bench(args: argparse.Namespace) -> int:
+    """The serving benchmark; exits non-zero on an oracle mismatch."""
+    import json
+
+    from .service.bench import (
+        check_smoke_hash,
+        render_serve_report,
+        run_serve_bench,
+    )
+
+    codes = (args.code,) if args.code else None
+    payload = run_serve_bench(
+        codes,
+        args.p,
+        num_stripes=args.stripes,
+        num_shards=args.shards,
+        workers=args.workers,
+        ops=args.ops,
+        policy=args.policy,
+        element_size=args.element_size,
+        cache_stripes=args.cache,
+        seed=args.seed,
+        headline_ops=args.headline_ops,
+        smoke=args.smoke,
+    )
+    if args.json:
+        rendered = json.dumps(payload, indent=2, sort_keys=True)
+    else:
+        rendered = render_serve_report(payload)
+    _emit(rendered, args.output, "serve-bench report")
+    if args.output:
+        # Keep the determinism fingerprint on stdout — the CI smoke
+        # step pins this line, mirroring `crash-bench --smoke`.
+        print(f"report hash: {payload['report_hash']}")
+    if args.smoke:
+        check_smoke_hash(payload)  # raises CertificationError on drift
+        print("serve-bench smoke report matches the pinned hash")
+    return 0 if payload["all_ok"] else 1
+
+
 def _run_lint(args: argparse.Namespace) -> int:
-    """Run the R001-R007 catalogue; exits 1 when violations remain."""
+    """Run the R001-R008 catalogue; exits 1 when violations remain."""
     import json
 
     from .static import default_lint_target, lint_paths
@@ -810,6 +905,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "crash-bench":
         return _run_crash_bench(args)
+
+    if args.command == "serve-bench":
+        return _run_serve_bench(args)
 
     if args.command == "lint":
         return _run_lint(args)

@@ -39,6 +39,7 @@ many times.
 
 from __future__ import annotations
 
+import threading
 from collections import Counter, OrderedDict
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
@@ -60,56 +61,72 @@ MAX_CSE_TEMPS = 64
 
 @dataclass
 class PlanCache:
-    """A bounded LRU of compiled plans, keyed by ``(code, p, op, pattern)``."""
+    """A bounded LRU of compiled plans, keyed by ``(code, p, op, pattern)``.
+
+    The process-wide :data:`PLAN_CACHE` is shared by every shard of a
+    :class:`~repro.service.VolumePool`, so lookups and stores take a
+    small internal lock; plans themselves are immutable after
+    compilation and safe to execute from any thread.
+    """
 
     maxsize: int = 128
     hits: int = 0
     misses: int = 0
     evictions: int = 0
     _plans: OrderedDict = field(default_factory=OrderedDict, repr=False)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.maxsize <= 0:
             raise InvalidParameterError("plan cache maxsize must be positive")
 
     def __len__(self) -> int:
-        return len(self._plans)
+        with self._lock:
+            return len(self._plans)
 
     def __contains__(self, key: tuple) -> bool:
-        return key in self._plans
+        with self._lock:
+            return key in self._plans
 
     def lookup(self, key: tuple) -> XorPlan | None:
-        plan = self._plans.get(key)
-        if plan is None:
-            self.misses += 1
-            return None
-        self._plans.move_to_end(key)
-        self.hits += 1
-        return plan
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is None:
+                self.misses += 1
+                return None
+            self._plans.move_to_end(key)
+            self.hits += 1
+            return plan
 
     def store(self, key: tuple, plan: XorPlan) -> None:
-        self._plans[key] = plan
-        self._plans.move_to_end(key)
-        while len(self._plans) > self.maxsize:
-            self._plans.popitem(last=False)
-            self.evictions += 1
+        with self._lock:
+            self._plans[key] = plan
+            self._plans.move_to_end(key)
+            while len(self._plans) > self.maxsize:
+                self._plans.popitem(last=False)
+                self.evictions += 1
 
     def clear(self) -> None:
-        self._plans.clear()
+        with self._lock:
+            self._plans.clear()
         self.reset_stats()
 
     def reset_stats(self) -> None:
         """Zero the hit/miss/eviction counters, keeping cached plans."""
-        self.hits = self.misses = self.evictions = 0
+        with self._lock:
+            self.hits = self.misses = self.evictions = 0
 
     def stats(self) -> dict[str, int]:
         """A snapshot of the cache counters (size, hits, misses, evictions)."""
-        return {
-            "size": len(self._plans),
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-        }
+        with self._lock:
+            return {
+                "size": len(self._plans),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
 
 
 #: The process-wide default cache :func:`compile_plan` uses.

@@ -165,6 +165,38 @@ class WorkloadError(ReproError, ValueError):
     """A workload trace or access pattern is malformed."""
 
 
+class ServiceError(ReproError):
+    """Base class for failures of the concurrent volume service.
+
+    Raised by :mod:`repro.service` when the sharded pool or the request
+    scheduler is misconfigured or misused (an op addressing bytes that
+    span two shards, a submit after close, an unknown op kind).
+    """
+
+
+class BackpressureError(ServiceError):
+    """A non-blocking submit found the scheduler's queue saturated.
+
+    The bounded admission queue is the service's backpressure signal:
+    a blocking :meth:`~repro.service.RequestScheduler.submit` waits (and
+    counts the wait), a non-blocking one raises this error so callers
+    can shed load instead of queueing unboundedly.
+    """
+
+
+class ConcurrentMutationError(ServiceError):
+    """Two threads interleaved structural operations on one store.
+
+    :class:`~repro.array.filestore.FileStore` is a single-writer
+    object: ``flush()``, ``recover()``, ``fail_disk()`` and
+    ``rebuild()`` mutate stripe buffers, the cache, and the journal
+    with no internal synchronization.  The store detects a second
+    thread entering one of these sections while another is inside and
+    fails loudly instead of corrupting parity — wrap each shard in its
+    own lock (see ``docs/SERVICE.md`` for the locking discipline).
+    """
+
+
 class GFDomainError(ReproError, ZeroDivisionError):
     """A Galois-field operation was applied outside its domain.
 

@@ -1,0 +1,317 @@
+"""The request scheduler: a concurrent op stream over the shard pool.
+
+Clients :meth:`~RequestScheduler.submit` ops into one bounded
+admission queue; a pool of worker threads executes them against the
+:class:`~repro.service.VolumePool`.  Three properties the serve-bench
+(and the differential oracle test) depend on:
+
+- **Per-shard FIFO.**  Internally the queue is a deque per shard and
+  at most one worker serves a shard at a time, so ops on one shard
+  execute in submission order while different shards proceed in
+  parallel.  End state is therefore a pure function of the submitted
+  stream — byte-identical to a single-threaded replay — no matter how
+  many workers run or how the OS schedules them.
+- **Backpressure.**  ``queue_depth`` bounds queued ops.  A blocking
+  submit waits (counted in ``backpressure_waits``); a non-blocking one
+  raises :class:`~repro.exceptions.BackpressureError` so callers can
+  shed load.
+- **Deadlines.**  An op may carry a relative deadline; a worker that
+  dequeues it past that instant completes it as ``expired`` without
+  touching the shard.  Expiry depends on real time, so it is reported
+  in the timing half of :class:`~repro.service.ServiceStats`, never
+  hashed — deterministic runs simply set no deadlines.
+
+Workers take the shard's **write** lock for every op (FileStore is a
+single-writer object; see ``docs/SERVICE.md``), which is also what
+lets a rebuild op monopolize one shard while every other shard keeps
+serving — the scheduler records how many ops completed elsewhere
+during each rebuild as direct evidence of that isolation.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+
+from ..exceptions import (
+    BackpressureError,
+    InvalidParameterError,
+    ReproError,
+    ServiceError,
+)
+from .pool import VolumePool
+from .stats import ServiceStats, WorkerRecorder
+
+
+@dataclass(frozen=True)
+class Op:
+    """One scheduled operation.
+
+    ``read``/``write`` ops are byte-addressed against the global
+    volume (and must stay inside one stripe); ``fail``/``rebuild``/
+    ``flush`` ops address a shard directly.  ``deadline`` is relative
+    seconds from submission; ``None`` (the default, and the only value
+    deterministic runs use) never expires.
+    """
+
+    kind: str
+    offset: int = 0
+    size: int = 0
+    payload: bytes | None = None
+    shard: int | None = None
+    disk: int | None = None
+    deadline: float | None = None
+    client: int = 0
+
+
+@dataclass(frozen=True)
+class OpResult:
+    """Terminal record of one op (kept only when ``keep_results``)."""
+
+    kind: str
+    status: str
+    shard: int
+    seconds: float
+    data: bytes | None = None
+    error: str | None = None
+
+
+class RequestScheduler:
+    """Bounded-queue, per-shard-FIFO thread-pool op scheduler."""
+
+    def __init__(
+        self,
+        pool: VolumePool,
+        *,
+        workers: int = 2,
+        queue_depth: int = 256,
+        keep_results: bool = False,
+    ) -> None:
+        if workers < 1:
+            raise InvalidParameterError("workers must be >= 1")
+        if queue_depth < 1:
+            raise InvalidParameterError("queue_depth must be >= 1")
+        self.pool = pool
+        self.workers = workers
+        self.queue_depth = queue_depth
+        self.keep_results = keep_results
+        self._cv = threading.Condition()
+        self._queues: list[deque] = [deque() for _ in range(pool.num_shards)]
+        self._busy = [False] * pool.num_shards
+        self._queued = 0
+        self._inflight = 0
+        self._completed = 0
+        self._backpressure_waits = 0
+        self._rejected = 0
+        self._rebuild_windows: list[dict] = []
+        self._next_scan = 0
+        self._closed = False
+        self._started = False
+        self._threads: list[threading.Thread] = []
+        self._recorders = [WorkerRecorder() for _ in range(workers)]
+        self._results: list[OpResult] = []
+        self._started_at = 0.0
+        self.stats: ServiceStats | None = None
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self) -> "RequestScheduler":
+        with self._cv:
+            if self._started:
+                raise ServiceError("scheduler already started")
+            self._started = True
+            self._started_at = time.perf_counter()
+            for wid in range(self.workers):
+                thread = threading.Thread(
+                    target=self._worker,
+                    args=(wid,),
+                    name=f"serve-worker-{wid}",
+                    daemon=True,
+                )
+                self._threads.append(thread)
+                thread.start()
+        return self
+
+    def __enter__(self) -> "RequestScheduler":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- submission --------------------------------------------------------------
+
+    def submit(self, op: Op, *, block: bool = True) -> None:
+        """Enqueue one op; blocks (or raises) when the queue is full."""
+        shard = self._route(op)
+        deadline_at = (
+            time.monotonic() + op.deadline if op.deadline is not None else None
+        )
+        with self._cv:
+            if self._closed or not self._started:
+                raise ServiceError("submit outside the scheduler's lifetime")
+            if self._queued >= self.queue_depth:
+                if not block:
+                    self._rejected += 1
+                    raise BackpressureError(
+                        f"admission queue at depth {self.queue_depth}"
+                    )
+                self._backpressure_waits += 1
+                while self._queued >= self.queue_depth and not self._closed:
+                    self._cv.wait()
+                if self._closed:
+                    raise ServiceError("scheduler closed while waiting")
+            self._queues[shard].append((op, deadline_at))
+            self._queued += 1
+            self._cv.notify_all()
+
+    def _route(self, op: Op) -> int:
+        if op.kind in ("read", "write"):
+            size = len(op.payload) if op.kind == "write" else op.size
+            shard, _ = self.pool.locate(op.offset, size)
+            return shard
+        if op.kind in ("fail", "rebuild", "flush"):
+            if op.shard is None:
+                raise ServiceError(f"{op.kind} op needs an explicit shard")
+            self.pool.lock(op.shard)  # validates the index
+            return op.shard
+        raise ServiceError(f"unknown op kind {op.kind!r}")
+
+    # -- completion --------------------------------------------------------------
+
+    def drain(self) -> None:
+        """Block until every submitted op has completed."""
+        with self._cv:
+            while self._queued or self._inflight:
+                self._cv.wait()
+
+    def close(self) -> ServiceStats:
+        """Drain, stop the workers, and build the final roll-up."""
+        self.drain()
+        with self._cv:
+            if not self._closed:
+                self._closed = True
+                self._cv.notify_all()
+        for thread in self._threads:
+            thread.join()
+        if self.stats is None:
+            wall = time.perf_counter() - self._started_at
+            # noqa-rationale: every worker has joined; close() is a
+            # single-threaded epilogue.
+            self.stats = ServiceStats.from_recorders(  # noqa: R008 - workers joined
+                self._recorders,
+                io=self.pool.merged_stats(),
+                wall_seconds=wall,
+                backpressure_waits=self._backpressure_waits,
+                rejected=self._rejected,
+                rebuild_windows=self._rebuild_windows,
+            )
+            self.stats.check_consistency()
+        return self.stats
+
+    @property
+    def results(self) -> list[OpResult]:
+        if not self.keep_results:
+            raise ServiceError("results were not kept; pass keep_results=True")
+        with self._cv:
+            return list(self._results)
+
+    @property
+    def completed(self) -> int:
+        with self._cv:
+            return self._completed
+
+    # -- the worker loop ---------------------------------------------------------
+
+    def _pick_shard_locked(self) -> int | None:
+        """Next serveable shard, round-robin for fairness (cv held)."""
+        for step in range(self.pool.num_shards):
+            shard = (self._next_scan + step) % self.pool.num_shards
+            if self._queues[shard] and not self._busy[shard]:
+                self._next_scan = shard + 1
+                return shard
+        return None
+
+    def _worker(self, wid: int) -> None:
+        rec = self._recorders[wid]
+        while True:
+            with self._cv:
+                shard = self._pick_shard_locked()
+                while shard is None:
+                    if self._closed and not self._queued:
+                        return
+                    self._cv.wait()
+                    shard = self._pick_shard_locked()
+                op, deadline_at = self._queues[shard].popleft()
+                self._busy[shard] = True
+                self._queued -= 1
+                self._inflight += 1
+                completed_at_start = self._completed
+                self._cv.notify_all()
+            status, seconds, data, error = self._execute(
+                op, shard, deadline_at
+            )
+            nbytes = (
+                len(op.payload)
+                if op.kind == "write" and op.payload is not None
+                else op.size
+            )
+            rec.record(op.kind, status, seconds, nbytes)
+            if error is not None:
+                rec.record_error(error)
+            with self._cv:
+                self._busy[shard] = False
+                self._inflight -= 1
+                self._completed += 1
+                if op.kind == "rebuild":
+                    self._rebuild_windows.append(
+                        {
+                            "shard": shard,
+                            "status": status,
+                            "ops_completed_elsewhere": self._completed
+                            - 1
+                            - completed_at_start,
+                        }
+                    )
+                if self.keep_results:
+                    self._results.append(
+                        OpResult(op.kind, status, shard, seconds, data, error)
+                    )
+                self._cv.notify_all()
+
+    def _execute(
+        self, op: Op, shard: int, deadline_at: float | None
+    ) -> tuple[str, float, bytes | None, str | None]:
+        """Run one op under the shard's write lock; never raises."""
+        started = time.perf_counter()
+        if deadline_at is not None and time.monotonic() > deadline_at:
+            return "expired", time.perf_counter() - started, None, None
+        data: bytes | None = None
+        try:
+            with self.pool.lock(shard).write_locked():
+                if op.kind == "read":
+                    _, local = self.pool.locate(op.offset, op.size)
+                    data = self.pool.read(shard, local, op.size)
+                elif op.kind == "write":
+                    assert op.payload is not None
+                    _, local = self.pool.locate(op.offset, len(op.payload))
+                    self.pool.write(shard, local, op.payload)
+                elif op.kind == "fail":
+                    assert op.disk is not None
+                    self.pool.fail_disk(shard, op.disk)
+                elif op.kind == "rebuild":
+                    assert op.disk is not None
+                    self.pool.rebuild(shard, op.disk)
+                elif op.kind == "flush":
+                    self.pool.flush(shard)
+        except ReproError as exc:
+            return (
+                "error",
+                time.perf_counter() - started,
+                None,
+                f"{type(exc).__name__}: {exc}",
+            )
+        if not self.keep_results:
+            data = None  # a million read payloads must not accumulate
+        return "ok", time.perf_counter() - started, data, None

@@ -1,0 +1,150 @@
+"""Sharding policies: how global stripe indices map to shards.
+
+A :class:`~repro.service.VolumePool` addresses one flat stripe space
+and spreads it over many independent single-volume stores.  The policy
+decides *which* shard owns each global stripe:
+
+- :class:`RangeSharding` — contiguous stripe ranges, the classic
+  volume-split: sequential scans stay on one shard (good locality, but
+  a Zipf-hot region concentrates on one shard);
+- :class:`HashSharding` — a 64-bit mixer over the stripe index,
+  scattering hot neighbours across shards (good balance, no locality).
+
+Both are pure functions of ``(stripe index, num_shards)`` — no state,
+no RNG — so the shard map is deterministic and the serve-bench's
+op-mix hash is pinnable.  Local (per-shard) stripe indices are
+assigned densely in global order by :func:`build_shard_map`, which is
+what lets a shard's FileStore stay a compact, gap-free volume.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError
+
+
+class ShardingPolicy(ABC):
+    """Maps global stripe indices onto ``num_shards`` shards."""
+
+    name = "abstract"
+
+    def __init__(self, num_shards: int) -> None:
+        if num_shards < 1:
+            raise InvalidParameterError("num_shards must be >= 1")
+        self.num_shards = num_shards
+
+    @abstractmethod
+    def shard_of(self, stripe_idx: int, num_stripes: int) -> int:
+        """The shard owning global stripe ``stripe_idx`` of ``num_stripes``."""
+
+    def describe(self) -> dict:
+        return {"policy": self.name, "num_shards": self.num_shards}
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(num_shards={self.num_shards})"
+
+
+class RangeSharding(ShardingPolicy):
+    """Contiguous stripe ranges: shard ``i`` owns one block of stripes.
+
+    Blocks differ in size by at most one stripe (the first
+    ``num_stripes % num_shards`` shards get the extra), matching how
+    ``np.array_split`` partitions a range.
+    """
+
+    name = "range"
+
+    def shard_of(self, stripe_idx: int, num_stripes: int) -> int:
+        _check_idx(stripe_idx, num_stripes)
+        base, extra = divmod(num_stripes, self.num_shards)
+        pivot = (base + 1) * extra
+        if stripe_idx < pivot:
+            return stripe_idx // (base + 1)
+        if base == 0:
+            raise InvalidParameterError(
+                f"stripe {stripe_idx} beyond the {extra} non-empty shards"
+            )
+        return extra + (stripe_idx - pivot) // base
+
+
+class HashSharding(ShardingPolicy):
+    """A splitmix64 mixer over the stripe index, reduced mod shards.
+
+    The mixer is a fixed bijection on 64-bit integers, so placement is
+    deterministic, well-scattered even for sequential indices, and
+    independent of the volume size.
+    """
+
+    name = "hash"
+
+    def shard_of(self, stripe_idx: int, num_stripes: int) -> int:
+        _check_idx(stripe_idx, num_stripes)
+        return int(_splitmix64(stripe_idx) % np.uint64(self.num_shards))
+
+
+def _check_idx(stripe_idx: int, num_stripes: int) -> None:
+    if not 0 <= stripe_idx < num_stripes:
+        raise InvalidParameterError(
+            f"stripe {stripe_idx} outside 0..{num_stripes - 1}"
+        )
+
+
+def _splitmix64(x: int) -> np.uint64:
+    """The splitmix64 finalizer: a fixed 64-bit avalanche mixer."""
+    with np.errstate(over="ignore"):
+        z = np.uint64(x) + np.uint64(0x9E3779B97F4A7C15)
+        z = (z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+        z = (z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+        return z ^ (z >> np.uint64(31))
+
+
+POLICIES: dict[str, type[ShardingPolicy]] = {
+    RangeSharding.name: RangeSharding,
+    HashSharding.name: HashSharding,
+}
+
+
+def make_policy(
+    policy: "str | ShardingPolicy", num_shards: int
+) -> ShardingPolicy:
+    """Resolve a policy name (or pass an instance through, validated)."""
+    if isinstance(policy, ShardingPolicy):
+        if policy.num_shards != num_shards:
+            raise InvalidParameterError(
+                f"policy built for {policy.num_shards} shards used "
+                f"with {num_shards}"
+            )
+        return policy
+    cls = POLICIES.get(policy)
+    if cls is None:
+        raise InvalidParameterError(
+            f"unknown sharding policy {policy!r}; "
+            f"available: {', '.join(sorted(POLICIES))}"
+        )
+    return cls(num_shards)
+
+
+def build_shard_map(
+    policy: ShardingPolicy, num_stripes: int
+) -> tuple[np.ndarray, np.ndarray, list[int]]:
+    """Materialize the global→(shard, local) stripe mapping.
+
+    Local indices are assigned densely per shard in increasing global
+    order, so every shard's FileStore is a compact volume and the map
+    is a pure function of ``(policy, num_stripes)``.  Returns
+    ``(shard_of, local_of, per_shard_counts)``.
+    """
+    if num_stripes < 1:
+        raise InvalidParameterError("num_stripes must be >= 1")
+    shard_of = np.empty(num_stripes, dtype=np.int64)
+    local_of = np.empty(num_stripes, dtype=np.int64)
+    counts = [0] * policy.num_shards
+    for idx in range(num_stripes):
+        shard = policy.shard_of(idx, num_stripes)
+        shard_of[idx] = shard
+        local_of[idx] = counts[shard]
+        counts[shard] += 1
+    return shard_of, local_of, counts

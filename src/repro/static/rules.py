@@ -27,6 +27,13 @@ at the source level:
   every byte the journal touches must be covered by a framed record,
   so a stray stripe write anywhere else in the package would bypass
   the write-ahead contract.
+- **R008** — :mod:`repro.service` touches shared mutable state only
+  under the owning lock: an assignment or mutator call on a ``self``
+  attribute must sit lexically inside a ``with`` whose context
+  expression names a lock (``self._lock``, ``self._cv``,
+  ``.write_locked()``, ...).  Constructors, and methods whose name
+  ends in ``_locked`` (the repo convention for "caller holds the
+  lock"), are exempt; single-owner state carries an explicit waiver.
 
 A violating line can be waived with a trailing ``# noqa: RXXX``
 comment (or a bare ``# noqa`` to waive every rule on the line).
@@ -519,6 +526,162 @@ class JournalMutationRule(LintRule):
         return out
 
 
+class UnlockedSharedStateRule(LintRule):
+    """R008: service code touches shared state only under its lock.
+
+    :mod:`repro.service` is the one package where multiple threads
+    share objects, so it gets the discipline the rest of the repo
+    never needs: any mutation of a ``self`` attribute — assignment,
+    augmented assignment, a write through a subscript chain, or a
+    mutator-method call — must sit lexically inside a ``with`` block
+    whose context expression names a lock.  "Names a lock" means any
+    name or attribute containing ``lock`` or ``_cv`` (``self._lock``,
+    ``self._cv``, ``pool.lock(s).write_locked()``, ...).
+
+    Exemptions, each encoding a real concurrency argument rather than
+    a hole:
+
+    - ``__init__``/``__post_init__`` — no second thread can hold a
+      reference during construction;
+    - methods whose name ends in ``_locked`` — the repo convention for
+      "caller already holds the owning lock" (the suffix makes the
+      contract grep-able at every call site);
+    - a ``# noqa: R008`` waiver — for genuinely single-owner state
+      such as a worker thread's private ledger, where the waiver text
+      documents the ownership argument.
+    """
+
+    rule_id = "R008"
+    summary = (
+        "shared mutable state touched outside the owning lock in "
+        "repro.service"
+    )
+
+    SCOPED_PREFIXES = ("repro.service",)
+    EXEMPT_FUNCTIONS = frozenset({"__init__", "__post_init__"})
+    #: method names that mutate containers in place.
+    MUTATORS = frozenset(
+        {
+            "append", "appendleft", "extend", "insert", "add", "update",
+            "pop", "popleft", "popitem", "remove", "discard", "clear",
+            "setdefault", "sort", "reverse",
+        }
+    )
+
+    @staticmethod
+    def _mentions_lock(expr: ast.expr) -> bool:
+        """True when a with-item expression names a lock or condition."""
+        for node in ast.walk(expr):
+            name = None
+            if isinstance(node, ast.Attribute):
+                name = node.attr
+            elif isinstance(node, ast.Name):
+                name = node.id
+            if name is not None and ("lock" in name.lower() or "_cv" in name):
+                return True
+        return False
+
+    @classmethod
+    def _enclosing_guards(cls, tree: ast.Module) -> dict[ast.AST, bool]:
+        """Map every node to "is lexically inside a lock-guarded with"."""
+        guarded: dict[ast.AST, bool] = {}
+        depth = 0
+
+        def visit(node: ast.AST) -> None:
+            nonlocal depth
+            is_guard = isinstance(node, (ast.With, ast.AsyncWith)) and any(
+                cls._mentions_lock(item.context_expr) for item in node.items
+            )
+            if is_guard:
+                depth += 1
+            for child in ast.iter_child_nodes(node):
+                guarded[child] = depth > 0
+                visit(child)
+            if is_guard:
+                depth -= 1
+
+        guarded[tree] = False
+        visit(tree)
+        return guarded
+
+    @staticmethod
+    def _roots_at_self(expr: ast.expr) -> bool:
+        """True when an attribute/subscript chain bottoms out at ``self``."""
+        cur = expr
+        while isinstance(cur, (ast.Attribute, ast.Subscript)):
+            cur = cur.value
+        return isinstance(cur, ast.Name) and cur.id == "self"
+
+    def _self_targets(self, target: ast.expr):
+        """Yield the parts of an assignment target that hit ``self``."""
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                yield from self._self_targets(elt)
+        elif isinstance(target, (ast.Attribute, ast.Subscript)):
+            if self._roots_at_self(target):
+                yield target
+
+    def check(self, ctx: FileContext) -> list[LintViolation]:
+        scoped = any(
+            ctx.module == prefix or ctx.module.startswith(prefix + ".")
+            for prefix in self.SCOPED_PREFIXES
+        )
+        if not scoped:
+            return []
+        owners = _enclosing_functions(ctx.tree)
+        guarded = self._enclosing_guards(ctx.tree)
+        out: list[LintViolation] = []
+
+        def exempt(node: ast.AST) -> bool:
+            names = owners.get(node, [])
+            if not names:
+                return True  # module level: import-time, single-threaded
+            return any(
+                name in self.EXEMPT_FUNCTIONS or name.endswith("_locked")
+                for name in names
+            )
+
+        for node in ast.walk(ctx.tree):
+            if guarded.get(node, False) or exempt(node):
+                continue
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    for hit in self._self_targets(target):
+                        out.append(
+                            self.violation(
+                                ctx,
+                                node,
+                                "mutation of shared attribute "
+                                f"'{ast.unparse(hit)}' outside the owning "
+                                "lock; wrap it in the guarding 'with' or "
+                                "waive single-owner state explicitly",
+                            )
+                        )
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in self.MUTATORS
+                    and self._roots_at_self(func.value)
+                ):
+                    out.append(
+                        self.violation(
+                            ctx,
+                            node,
+                            f".{func.attr}() on shared attribute "
+                            f"'{ast.unparse(func.value)}' outside the "
+                            "owning lock; wrap it in the guarding 'with' "
+                            "or waive single-owner state explicitly",
+                        )
+                    )
+        return out
+
+
 #: The catalogue, in rule-id order.
 ALL_RULES: tuple[LintRule, ...] = (
     UnseededRandomRule(),
@@ -528,6 +691,7 @@ ALL_RULES: tuple[LintRule, ...] = (
     ChainConstructionRule(),
     PerWordLoopRule(),
     JournalMutationRule(),
+    UnlockedSharedStateRule(),
 )
 
 RULES_BY_ID: dict[str, LintRule] = {rule.rule_id: rule for rule in ALL_RULES}

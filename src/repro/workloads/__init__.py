@@ -4,6 +4,8 @@
   ``uniform_w_L`` family and random ``(S, L, F)`` traces, including the
   paper's exact Table II trace.
 - :mod:`repro.workloads.degraded` — degraded-read patterns for Fig. 7.
+- :mod:`repro.workloads.service` — seeded many-client Zipf traces for
+  the concurrent volume service's serve-bench.
 """
 
 from .traces import (
@@ -15,6 +17,7 @@ from .traces import (
     random_write_trace,
 )
 from .degraded import ReadPattern, uniform_read_patterns
+from .service import ClientOp, ServiceTrace, service_trace
 from .synthetic import (
     MixedOp,
     mixed_trace,
@@ -37,4 +40,7 @@ __all__ = [
     "read_patterns_of",
     "sequential_write_trace",
     "zipf_write_trace",
+    "ClientOp",
+    "ServiceTrace",
+    "service_trace",
 ]

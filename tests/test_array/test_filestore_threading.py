@@ -1,0 +1,139 @@
+"""The structural-op exclusivity contract (FileStore._exclusive).
+
+A FileStore is a single-writer object: two threads interleaving
+``flush``/``recover``/``fail_disk``/``rebuild`` on one store would
+corrupt parity silently.  The store does not serialize callers — the
+service layer's ShardLock does — but it must *detect* the contract
+being broken (ConcurrentMutationError) while keeping two legal shapes
+working: same-thread reentrancy (``fail_disk`` flushes internally) and
+full parallelism across *different* stores (shards must not serialize
+against each other through any hidden global).
+"""
+
+import threading
+
+import pytest
+
+from repro.array.filestore import FileStore
+from repro.codes.registry import get_code
+from repro.exceptions import ConcurrentMutationError
+
+
+def dirty_store(**kw):
+    kw.setdefault("element_size", 32)
+    kw.setdefault("cache_stripes", 4)
+    store = FileStore(get_code("HV", 5), **kw)
+    store.write(0, b"dirty bytes")
+    assert store.cache is not None and len(store.cache)
+    return store
+
+
+class ParkedFlush:
+    """Drives a store's flush into a controllable wait at flush-start."""
+
+    def __init__(self, store):
+        self.store = store
+        self.entered = threading.Event()
+        self.release = threading.Event()
+        self.error = None
+        store.crash_hook = self._hook
+        self.thread = threading.Thread(target=self._run, daemon=True)
+
+    def _hook(self, site):
+        if site == "flush-start":
+            self.entered.set()
+            assert self.release.wait(5.0)
+
+    def _run(self):
+        try:
+            self.store.flush()
+        except BaseException as exc:  # surfaced by the test thread
+            self.error = exc
+
+    def __enter__(self):
+        self.thread.start()
+        assert self.entered.wait(5.0)  # flush now holds the op lock
+        return self
+
+    def __exit__(self, *exc):
+        self.release.set()
+        self.thread.join(timeout=5.0)
+        self.store.crash_hook = None
+        assert self.error is None
+
+
+class TestSameThreadReentrancy:
+    def test_fail_disk_flushes_reentrantly(self):
+        """fail_disk -> flush on one thread must not trip the guard."""
+        store = dirty_store()
+        store.fail_disk(0)  # flushes internally, then erases
+        assert len(store.cache) == 0
+        assert store.failed_disks == {0}
+
+    def test_rebuild_flushes_reentrantly(self):
+        store = dirty_store()
+        store.fail_disk(0)
+        store.write(0, b"degraded write")  # re-dirty while degraded
+        store.rebuild(0)
+        assert store.failed_disks == set()
+        assert store.read(0, 14) == b"degraded write"
+
+
+class TestCrossThreadInterleaveDetected:
+    def test_fail_disk_during_anothers_flush(self):
+        store = dirty_store()
+        with ParkedFlush(store):
+            with pytest.raises(ConcurrentMutationError):
+                store.fail_disk(0)
+        # once the flush finishes the op is legal again
+        store.fail_disk(0)
+        assert store.failed_disks == {0}
+
+    def test_flush_during_anothers_flush(self):
+        store = dirty_store()
+        with ParkedFlush(store):
+            with pytest.raises(ConcurrentMutationError):
+                store.flush()
+
+    def test_recover_during_anothers_flush(self):
+        store = dirty_store()
+        assert store.journal is not None
+        with ParkedFlush(store):
+            with pytest.raises(ConcurrentMutationError):
+                store.recover()
+
+
+class TestDifferentStoresRunInParallel:
+    def test_two_shards_flush_concurrently(self):
+        """Both flushes must be *inside* flush at the same instant.
+
+        The rendezvous only passes when the two threads reach
+        flush-start together — if stores serialized against each other
+        through any shared guard, the second thread would never arrive
+        and the barrier would time out.
+        """
+        stores = [dirty_store(), dirty_store()]
+        rendezvous = threading.Barrier(2, timeout=5.0)
+        errors = []
+
+        def hook(site):
+            if site == "flush-start":
+                rendezvous.wait()
+
+        def run(store):
+            try:
+                store.crash_hook = hook
+                store.flush()
+            except BaseException as exc:
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=run, args=(s,), daemon=True)
+            for s in stores
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=5.0)
+        assert not errors
+        assert all(len(s.cache) == 0 for s in stores)

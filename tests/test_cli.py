@@ -303,3 +303,43 @@ class TestBenchWriteCommand:
         ) == 0
         payload = json.loads(target.read_text())
         assert {row["code"] for row in payload["sweep"]} == {"HV"}
+
+
+class TestServeBenchCommand:
+    def test_parser_registered(self):
+        args = build_parser().parse_args(["serve-bench", "--smoke"])
+        assert args.command == "serve-bench"
+        assert args.smoke
+        assert args.shards == 4
+        assert args.workers == 4
+        assert args.policy == "range"
+        assert args.headline_ops == 0
+
+    def test_small_run_json_output(self, capsys, tmp_path):
+        import json
+
+        target = tmp_path / "serve.json"
+        assert main(
+            [
+                "serve-bench", "--code", "HV", "--ops", "300",
+                "--stripes", "8", "--shards", "2", "--workers", "2",
+                "--element-size", "64", "--cache", "2",
+                "--json", "--output", str(target),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "report hash:" in out
+        payload = json.loads(target.read_text())
+        assert payload["all_ok"] is True
+        (entry,) = payload["codes"]
+        assert entry["deterministic"]["code"] == "HV"
+        assert entry["deterministic"]["oracle_match"] is True
+        assert entry["deterministic"]["rebuild_matches_healthy"] is True
+
+    def test_smoke_matches_pin(self, capsys):
+        from repro.service.bench import SERVE_SMOKE_HASH
+
+        assert main(["serve-bench", "--smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "matches the pinned hash" in out
+        assert SERVE_SMOKE_HASH[:16] in out

@@ -1,0 +1,110 @@
+"""Tests for stripe-to-shard placement policies."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.service import (
+    POLICIES,
+    HashSharding,
+    RangeSharding,
+    build_shard_map,
+    make_policy,
+)
+
+
+class TestRangeSharding:
+    def test_matches_array_split(self):
+        for num_stripes in (7, 8, 16, 33):
+            for shards in (1, 2, 3, 4, 7):
+                policy = RangeSharding(shards)
+                got = [policy.shard_of(i, num_stripes) for i in range(num_stripes)]
+                expected = np.concatenate(
+                    [
+                        np.full(len(chunk), s)
+                        for s, chunk in enumerate(
+                            np.array_split(np.arange(num_stripes), shards)
+                        )
+                    ]
+                )
+                assert got == expected.tolist()
+
+    def test_contiguous_blocks(self):
+        policy = RangeSharding(4)
+        assignment = [policy.shard_of(i, 14) for i in range(14)]
+        assert assignment == sorted(assignment)
+
+    def test_bounds_checked(self):
+        policy = RangeSharding(2)
+        with pytest.raises(InvalidParameterError):
+            policy.shard_of(10, 10)
+        with pytest.raises(InvalidParameterError):
+            policy.shard_of(-1, 10)
+
+
+class TestHashSharding:
+    def test_deterministic_and_in_range(self):
+        policy = HashSharding(4)
+        a = [policy.shard_of(i, 100) for i in range(100)]
+        b = [policy.shard_of(i, 100) for i in range(100)]
+        assert a == b
+        assert all(0 <= s < 4 for s in a)
+
+    def test_scatters_sequential_indices(self):
+        """Adjacent stripes do not pile onto one shard."""
+        policy = HashSharding(4)
+        counts = np.bincount(
+            [policy.shard_of(i, 256) for i in range(256)], minlength=4
+        )
+        assert counts.min() > 0
+        assert counts.max() < 256 / 2
+
+    def test_differs_from_range(self):
+        rng_p = RangeSharding(4)
+        hash_p = HashSharding(4)
+        assert [rng_p.shard_of(i, 64) for i in range(64)] != [
+            hash_p.shard_of(i, 64) for i in range(64)
+        ]
+
+
+class TestMakePolicy:
+    def test_by_name(self):
+        assert isinstance(make_policy("range", 3), RangeSharding)
+        assert isinstance(make_policy("hash", 3), HashSharding)
+        assert set(POLICIES) == {"range", "hash"}
+
+    def test_unknown_name(self):
+        with pytest.raises(InvalidParameterError):
+            make_policy("round-robin", 3)
+
+    def test_instance_passthrough_validated(self):
+        policy = RangeSharding(3)
+        assert make_policy(policy, 3) is policy
+        with pytest.raises(InvalidParameterError):
+            make_policy(policy, 4)
+
+    def test_zero_shards(self):
+        with pytest.raises(InvalidParameterError):
+            RangeSharding(0)
+
+    def test_describe(self):
+        assert make_policy("hash", 2).describe() == {
+            "policy": "hash",
+            "num_shards": 2,
+        }
+
+
+class TestBuildShardMap:
+    @pytest.mark.parametrize("name", ["range", "hash"])
+    def test_dense_local_indices(self, name):
+        policy = make_policy(name, 3)
+        shard_of, local_of, counts = build_shard_map(policy, 20)
+        assert sum(counts) == 20
+        for shard in range(3):
+            locals_ = local_of[shard_of == shard]
+            # dense 0..n-1 in increasing global order
+            assert locals_.tolist() == list(range(counts[shard]))
+
+    def test_empty_volume_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            build_shard_map(RangeSharding(2), 0)

@@ -1,4 +1,4 @@
-"""Tests for the repo linter (rules R001-R007)."""
+"""Tests for the repo linter (rules R001-R008)."""
 
 import textwrap
 
@@ -364,6 +364,123 @@ class TestR007JournalMutation:
         assert report.clean
 
 
+class TestR008UnlockedSharedState:
+    def _service_pkg(self, tmp_path):
+        pkg = tmp_path / "repro"
+        (pkg / "service").mkdir(parents=True)
+        (pkg / "__init__.py").write_text("")
+        (pkg / "service" / "__init__.py").write_text("")
+
+    SNIPPET = """
+    import threading
+
+
+    class Shared:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self.total = 0
+            self.items = []
+
+        def unguarded(self):
+            self.total += 1
+            self.items.append(1)
+
+        def guarded(self):
+            with self._lock:
+                self.total += 1
+                self.items.append(1)
+    """
+
+    def test_flags_unguarded_mutations_only(self, tmp_path):
+        self._service_pkg(tmp_path)
+        violations = lint_source(
+            tmp_path, self.SNIPPET, name="repro/service/shared.py"
+        )
+        assert [v.rule for v in violations] == ["R008", "R008"]
+        assert all("owning lock" in v.message for v in violations)
+        # both hits are in unguarded(); the guarded copies are clean
+        assert {v.line for v in violations} == {12, 13}
+
+    def test_ignores_code_outside_the_service_package(self, tmp_path):
+        pkg = tmp_path / "repro"
+        (pkg / "array").mkdir(parents=True)
+        (pkg / "__init__.py").write_text("")
+        (pkg / "array" / "__init__.py").write_text("")
+        violations = lint_source(
+            tmp_path, self.SNIPPET, name="repro/array/shared.py"
+        )
+        assert violations == ()
+
+    def test_condition_variable_counts_as_a_lock(self, tmp_path):
+        self._service_pkg(tmp_path)
+        violations = lint_source(
+            tmp_path,
+            """
+            import threading
+
+
+            class Queue:
+                def __init__(self):
+                    self._cv = threading.Condition()
+                    self.depth = 0
+
+                def push(self):
+                    with self._cv:
+                        self.depth += 1
+            """,
+            name="repro/service/q.py",
+        )
+        assert violations == ()
+
+    def test_locked_suffix_methods_are_exempt(self, tmp_path):
+        self._service_pkg(tmp_path)
+        violations = lint_source(
+            tmp_path,
+            """
+            class Scanner:
+                def _advance_locked(self):
+                    self.cursor += 1
+            """,
+            name="repro/service/scan.py",
+        )
+        assert violations == ()
+
+    def test_subscript_chains_and_tuple_targets_flagged(self, tmp_path):
+        self._service_pkg(tmp_path)
+        violations = lint_source(
+            tmp_path,
+            """
+            class Table:
+                def poke(self, key):
+                    self.rows[key] = 1
+                    self.a, other = 1, 2
+            """,
+            name="repro/service/table.py",
+        )
+        assert [v.rule for v in violations] == ["R008", "R008"]
+
+    def test_noqa_waiver_respected(self, tmp_path):
+        self._service_pkg(tmp_path)
+        violations = lint_source(
+            tmp_path,
+            """
+            class Ledger:
+                def record(self):
+                    self.count += 1  # noqa: R008 - single-owner ledger
+            """,
+            name="repro/service/ledger.py",
+        )
+        assert violations == ()
+
+    def test_service_package_is_clean(self):
+        """The shipped service code satisfies its own lint rule."""
+        import repro.service as service_pkg
+
+        pkg_dir = service_pkg.__path__[0]
+        report = lint_paths([pkg_dir], rule_ids=["R008"])
+        assert report.clean, report.render()
+
+
 class TestWaivers:
     def test_noqa_with_rule_id_waives(self, tmp_path):
         violations = lint_source(
@@ -437,9 +554,11 @@ class TestDriver:
     def test_catalogue_is_complete(self):
         assert [r.rule_id for r in ALL_RULES] == [
             "R001", "R002", "R003", "R004", "R005", "R006", "R007",
+            "R008",
         ]
         assert set(RULES_BY_ID) == {
             "R001", "R002", "R003", "R004", "R005", "R006", "R007",
+            "R008",
         }
 
     def test_report_json_shape(self, tmp_path):
