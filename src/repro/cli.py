@@ -190,6 +190,20 @@ def build_parser() -> argparse.ArgumentParser:
         "pinned hashes; prints one hash line per certificate",
     )
     certify.add_argument(
+        "--plans",
+        action="store_true",
+        help="symbolically verify every compiled XOR plan (all codes at "
+        "p=5,7,11 unless --code/--p narrow it) and print one report "
+        "hash line per (code, p)",
+    )
+    certify.add_argument(
+        "--check-pins",
+        action="store_true",
+        help="recompute and verify all three pin tables — smoke "
+        "certificates, pinned HV plans, and symbolic plan-verification "
+        "reports — through the single check_pins() entry point",
+    )
+    certify.add_argument(
         "--json", action="store_true", help="machine-readable JSON output"
     )
     certify.add_argument("--output", default=None)
@@ -348,7 +362,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--output", default=None)
 
     lint = sub.add_parser(
-        "lint", help="repo lint rules R001-R008 (AST-based, repo-specific)"
+        "lint", help="repo lint rules R001-R009 (AST-based, repo-specific)"
     )
     lint.add_argument(
         "paths",
@@ -362,7 +376,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated rule ids to run, e.g. R001,R004",
     )
     lint.add_argument(
-        "--format", choices=("text", "json"), default="text"
+        "--format",
+        choices=("text", "json", "github"),
+        default="text",
+        help="'github' emits ::error workflow annotations so violations "
+        "surface inline on pull requests",
     )
     return parser
 
@@ -604,6 +622,99 @@ def _run_sim(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_plan_verify(args: argparse.Namespace) -> int:
+    """`certify --plans`: symbolic proof of every compiled plan."""
+    import json
+
+    from .static import (
+        PLAN_VERIFY_PRIMES,
+        check_plan_report_pins,
+        plan_verification_reports,
+    )
+
+    primes = (args.p,) if args.p else PLAN_VERIFY_PRIMES
+    names = (args.code,) if args.code else None
+    reports = plan_verification_reports(primes=primes, code_names=names)
+
+    failed: list[str] = []
+    for report in reports:
+        failed.extend(f"{report.key}:{name}" for name in report.failed_claims())
+
+    if args.json:
+        rendered = json.dumps(
+            {
+                "plan_reports": {r.key: r.to_dict() for r in reports},
+                "report_hashes": {r.key: r.report_hash for r in reports},
+                "failed_claims": failed,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+    else:
+        lines = [
+            f"{'code':<12} {'p':>3} {'grid':>7} {'verified':>9} "
+            f"{'rejected':>9} {'claims':>7}",
+        ]
+        for r in reports:
+            claims = "FAILED" if r.failed_claims() else f"{len(r.claims)} ok"
+            lines.append(
+                f"{r.code:<12} {r.param:>3} {r.rows:>3}x{r.cols:<3} "
+                f"{r.patterns_verified:>9} {r.patterns_rejected:>9} "
+                f"{claims:>7}"
+            )
+        if failed:
+            lines.append("")
+            lines.append(f"FAILED claims: {', '.join(failed)}")
+        rendered = "\n".join(lines)
+    _emit(rendered, args.output, f"{len(reports)} plan report(s)")
+    # Determinism fingerprints on stdout either way — CI diffs these
+    # lines, mirroring `certify --smoke`.
+    for report in reports:
+        print(f"plan report hash {report.key}: {report.report_hash}")
+    full_set = not args.code and not args.p
+    if full_set:
+        check_plan_report_pins(reports)  # raises CertificationError
+        print(f"{len(reports)} plan report(s) match the pinned hashes")
+    if failed:
+        print(f"FAILED claims: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _run_check_pins(args: argparse.Namespace) -> int:
+    """`certify --check-pins`: every pin table through one entry point."""
+    from .static import (
+        check_pins,
+        pinned_plan_reports,
+        pinned_plans,
+        smoke_certificates,
+    )
+
+    certs = smoke_certificates()
+    plans = list(pinned_plans())
+    reports = list(pinned_plan_reports())
+    for cert in certs:
+        print(f"certificate hash {cert.key}: {cert.certificate_hash}")
+    for plan in plans:
+        print(f"plan hash {plan.key}: {plan.plan_hash}")
+    for report in reports:
+        print(f"plan report hash {report.key}: {report.report_hash}")
+    check_pins(certs, plans, reports)  # raises CertificationError
+    print(
+        f"{len(certs)} certificate(s), {len(plans)} plan(s), "
+        f"{len(reports)} plan report(s) match the pinned hashes"
+    )
+    failed = [
+        f"{item.key}:{name}"
+        for item in (*certs, *reports)
+        for name in item.failed_claims()
+    ]
+    if failed:
+        print(f"FAILED claims: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _run_certify(args: argparse.Namespace) -> int:
     """Static certificates; exits non-zero on any failed claim or pin."""
     import json
@@ -611,12 +722,15 @@ def _run_certify(args: argparse.Namespace) -> int:
     from .static import (
         certify_registry,
         check_pins,
-        check_plan_pins,
         pinned_plans,
         smoke_certificates,
     )
     from .utils import EVALUATION_PRIMES
 
+    if args.check_pins:
+        return _run_check_pins(args)
+    if args.plans:
+        return _run_plan_verify(args)
     if args.smoke:
         certs = smoke_certificates()
     else:
@@ -681,13 +795,16 @@ def _run_certify(args: argparse.Namespace) -> int:
         for cert in certs:
             print(f"certificate hash {cert.key}: {cert.certificate_hash}")
     if args.smoke:
-        check_pins(certs)  # raises CertificationError on any mismatch
-        print(f"{len(certs)} certificate(s) match the pinned hashes")
         plans = list(pinned_plans())
         for plan in plans:
             print(f"plan hash {plan.key}: {plan.plan_hash}")
-        check_plan_pins(plans)  # raises CertificationError on drift
-        print(f"{len(plans)} compiled plan(s) match the pinned hashes")
+        # One unified entry point for both tables (the plan-report
+        # table has its own heavier path: `certify --check-pins`).
+        check_pins(certs, plans)  # raises CertificationError on drift
+        print(
+            f"{len(certs)} certificate(s) and {len(plans)} compiled "
+            "plan(s) match the pinned hashes"
+        )
     if failed:
         print(f"FAILED claims: {', '.join(failed)}", file=sys.stderr)
         return 1
@@ -860,7 +977,7 @@ def _run_serve_bench(args: argparse.Namespace) -> int:
 
 
 def _run_lint(args: argparse.Namespace) -> int:
-    """Run the R001-R008 catalogue; exits 1 when violations remain."""
+    """Run the R001-R009 catalogue; exits 1 when violations remain."""
     import json
 
     from .static import default_lint_target, lint_paths
@@ -870,6 +987,19 @@ def _run_lint(args: argparse.Namespace) -> int:
     report = lint_paths(paths, rule_ids=rule_ids)
     if args.format == "json":
         print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    elif args.format == "github":
+        # GitHub Actions workflow commands: one ::error annotation per
+        # violation, rendered inline on the PR diff.
+        for v in report.violations:
+            message = v.message.replace("\n", " ")
+            print(
+                f"::error file={v.path},line={v.line},col={v.col + 1},"
+                f"title=repro-lint {v.rule}::{message}"
+            )
+        print(
+            f"{report.files_checked} file(s) linted, "
+            f"{len(report.violations)} violation(s)"
+        )
     else:
         print(report.render())
     return 0 if report.clean else 1

@@ -42,7 +42,7 @@ from __future__ import annotations
 import threading
 from collections import Counter, OrderedDict
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 from ..exceptions import InvalidParameterError, PlanError
 from ..recovery.peeling import peel_schedule
@@ -67,12 +67,28 @@ class PlanCache:
     :class:`~repro.service.VolumePool`, so lookups and stores take a
     small internal lock; plans themselves are immutable after
     compilation and safe to execute from any thread.
+
+    Two introspection hooks support the static layer:
+
+    - ``verify=True`` turns on verify-on-compile debug mode: every
+      plan :func:`compile_plan` lowers for this cache is symbolically
+      proven by :func:`repro.static.planverify.verify_plan` before it
+      is stored, so a compiler regression surfaces as a
+      :class:`~repro.exceptions.CertificationError` at the first
+      compile instead of as corrupt bytes downstream;
+    - ``on_store`` (if set) is called as ``on_store(key, plan)`` after
+      each store, outside the cache lock — the hook the plan auditors
+      use to observe exactly what the engine will execute.
     """
 
     maxsize: int = 128
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    verify: bool = False
+    on_store: Callable[[tuple, XorPlan], None] | None = field(
+        default=None, repr=False, compare=False
+    )
     _plans: OrderedDict = field(default_factory=OrderedDict, repr=False)
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
@@ -176,8 +192,15 @@ def compile_plan(
         plan = _compile_decode(code, canonical)
     if cse:
         plan = eliminate_common_pairs(plan)
+    if cache is not None and cache.verify:
+        # Lazy import: repro.static.planverify imports this module.
+        from ..static.planverify import verify_plan
+
+        verify_plan(code, plan)
     if cache is not None:
         cache.store(key, plan)
+        if cache.on_store is not None:
+            cache.on_store(key, plan)
     return plan
 
 

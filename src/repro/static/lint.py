@@ -1,4 +1,4 @@
-"""The repo linter: apply the R001-R005 rule catalogue to a source tree.
+"""The repo linter: apply the R001-R009 rule catalogue to a source tree.
 
 The driver walks ``.py`` files, parses each once, derives the file's
 dotted module path (so scope-limited rules like R002 know they are in
@@ -22,6 +22,10 @@ from ..exceptions import LintViolationError, StaticAnalysisError
 from .rules import ALL_RULES, RULES_BY_ID, FileContext, LintRule, LintViolation
 
 _NOQA = re.compile(r"#\s*noqa(?::\s*(?P<codes>[A-Z0-9, ]+))?", re.IGNORECASE)
+
+#: Explicit waiver codes in *our* rule namespace (R009's audit scope);
+#: foreign codes (ruff's ``E731`` etc.) are never audited.
+_REPRO_CODE = re.compile(r"^R\d{3}$")
 
 #: R003 fallback when no package root is found among the linted paths
 #: (e.g. linting a scratch directory in tests).
@@ -170,6 +174,46 @@ def _waived(violation: LintViolation, lines: list[str]) -> bool:
     return violation.rule in waived
 
 
+def _stale_noqa_violations(
+    ctx: FileContext, raw: list[LintViolation]
+) -> list[LintViolation]:
+    """R009: explicit ``RXXX`` waivers that suppress no raw violation.
+
+    ``raw`` is the pre-waiver output of the whole catalogue for this
+    file — a waiver is stale exactly when no raw violation of its rule
+    lands on its line.
+    """
+    live = {(v.rule, v.line) for v in raw}
+    out: list[LintViolation] = []
+    for lineno, line in enumerate(ctx.lines, start=1):
+        match = _NOQA.search(line)
+        if match is None or match.group("codes") is None:
+            continue
+        for code in match.group("codes").split(","):
+            code = code.strip().upper()
+            if not _REPRO_CODE.match(code):
+                continue
+            if code == "R009" or (code, lineno) in live:
+                continue
+            known = code in RULES_BY_ID
+            detail = (
+                "suppresses no violation on this line"
+                if known
+                else "names a rule that does not exist"
+            )
+            out.append(
+                LintViolation(
+                    path=ctx.path,
+                    line=lineno,
+                    col=match.start(),
+                    rule="R009",
+                    message=f"stale noqa: waiver for {code} {detail}; "
+                    "remove it so future regressions are not hidden",
+                )
+            )
+    return out
+
+
 def lint_paths(
     paths: list[str | Path],
     rule_ids: list[str] | None = None,
@@ -178,6 +222,16 @@ def lint_paths(
     resolved = [Path(p) for p in paths]
     files = _iter_python_files(resolved)
     rules = select_rules(rule_ids)
+    selected_ids = {rule.rule_id for rule in rules}
+    audit_noqa = "R009" in selected_ids
+    # R009 needs every catalogue rule's *raw* (pre-waiver) output, so
+    # when it is selected the whole catalogue runs even if only a
+    # subset is reported.
+    check_rules = tuple(
+        rule
+        for rule in (ALL_RULES if audit_noqa else rules)
+        if not rule.driver_level
+    )
     allowed = allowed_exception_names(_package_root(files))
     violations: list[LintViolation] = []
     for file in files:
@@ -194,10 +248,20 @@ def lint_paths(
             lines=lines,
             allowed_exceptions=allowed,
         )
-        for rule in rules:
-            for violation in rule.check(ctx):
-                if not _waived(violation, lines):
-                    violations.append(violation)
+        raw: list[LintViolation] = []
+        for rule in check_rules:
+            raw.extend(rule.check(ctx))
+        violations.extend(
+            v
+            for v in raw
+            if v.rule in selected_ids and not _waived(v, lines)
+        )
+        if audit_noqa:
+            violations.extend(
+                v
+                for v in _stale_noqa_violations(ctx, raw)
+                if not _waived(v, lines)
+            )
     return LintReport(
         files_checked=len(files), violations=tuple(sorted(violations))
     )

@@ -1,22 +1,43 @@
-"""Pinned certificate hashes for the CI smoke set.
+"""Pinned hashes for everything the static layer freezes.
 
-Each entry is the SHA-256 of the canonical-JSON
-:class:`~repro.static.certify.CodeCertificate` for one ``(code, p)``
-pair of the smoke set (every registered code at the
-:data:`~repro.static.certify.SMOKE_PRIMES`).  The hashes are pure
-functions of the chain structure, so they are byte-identical across
-platforms and numpy versions; any change means a layout changed.
+Three pin tables, one entry point:
+
+- :data:`PINNED_CERTIFICATE_HASHES` — SHA-256 of the canonical-JSON
+  :class:`~repro.static.certify.CodeCertificate` for every ``(code, p)``
+  of the smoke set (every registered code at the
+  :data:`~repro.static.certify.SMOKE_PRIMES`);
+- :data:`PINNED_PLAN_HASHES` — SHA-256 of the canonical-JSON
+  :class:`~repro.engine.plan.XorPlan` for the HV schedules the paper's
+  algorithms pin down;
+- :data:`PINNED_PLAN_REPORT_HASHES` — SHA-256 of the canonical-JSON
+  :class:`~repro.static.planverify.PlanVerificationReport` for every
+  registered code at the :data:`~repro.static.planverify.PLAN_VERIFY_PRIMES`.
+  Unlike the other two tables these reports are *proof-backed*: the
+  hash only exists because every enumerated plan passed symbolic
+  verification, so a pin mismatch means a verified schedule family
+  changed shape, not merely that some bytes drifted.
+
+All three are pure functions of the chain structure and the compiler,
+so they are byte-identical across platforms and numpy versions.  Any
+change means a layout, planner decision, or CSE ordering changed.
 
 If a change is *intentional* (a new code, a deliberate layout fix),
 regenerate with::
 
-    python -m repro.cli certify --smoke --json
+    python -m repro.cli certify --smoke --json    # certificates + HV plans
+    python -m repro.cli certify --plans           # plan-verification reports
 
-and update the table — the accompanying test and the CI gate both diff
-against it.
+and update the tables — the accompanying tests and the CI gate both
+diff against them.
+
+:func:`check_pins` is the single verification entry point: called with
+no arguments it recomputes and checks all three canonical sets;
+called with explicit collections it checks exactly those.
 """
 
 from __future__ import annotations
+
+from typing import Iterable
 
 from ..exceptions import CertificationError
 
@@ -55,8 +76,7 @@ PINNED_CERTIFICATE_HASHES: dict[str, str] = {
 #: are compiled with the default deterministic ``greedy`` planner and
 #: CSE on; a changed hash means the *schedule* drifted — chain layout,
 #: planner decision, or CSE ordering — even if the decoded bytes stay
-#: correct.  Regenerate with ``python -m repro.cli certify --smoke``
-#: after a deliberate change.
+#: correct.
 PINNED_PLAN_HASHES: dict[str, str] = {
     "HV@5:encode": "491fa0ef79c56b32cecb2c2312acb91b2d691c887470525ff29b8130e3324db9",
     "HV@5:recover-single:d0": "4cb0cb01e60697e04a59de9476c105960222f8014d734f5abf875fe8838a90e2",
@@ -70,6 +90,42 @@ PINNED_PLAN_HASHES: dict[str, str] = {
     "HV@11:recover-single:d0": "852d03fa4445ea6a72698be284314de048e862d0b4ee785e0ee7ae461b2b097e",
     "HV@11:recover-double:d0d1": "122494fc2afad8e2f885eddcf7e0d17fdbc801a44683f235e0d935a86fe3d543",
     "HV@11:update:d0d2d4d5d6d7d8d9d10d11": "6bd181ededbca05c3c10ab51f80d90714eb8a96ca23bfc0080c7b6eae5e97b37",
+}
+
+
+#: ``report.key -> sha256`` for the symbolic plan-verification set:
+#: every registered code at the plan-verify primes (keys use the
+#: *registry parameter*, not ``code.p`` — Cauchy-RS's word size
+#: collides across parameters).  Regenerate with
+#: ``python -m repro.cli certify --plans`` after a deliberate change.
+PINNED_PLAN_REPORT_HASHES: dict[str, str] = {
+    "HV@5": "2ccc513cd539b5c74093cce43e69541630b533029511a94a9711b6e7cba11a28",
+    "RDP@5": "44a10be8d6efd0e441b6ee0c7d92b56de14e5c8854cce2d285d7cf7a70025063",
+    "HDP@5": "d23717809e248eaebf8dcf120ca702194b2011244251f30580a98ab7eb4f0d3d",
+    "X-Code@5": "6de2b6aa1f0903af4c1d65009727791aca9b31ef53ab0570bd6e0e760ecb7612",
+    "H-Code@5": "9e84f573d6bf408fb362547e59e3c5f0038cf6f012e0adff4056d6c6f422eadb",
+    "EVENODD@5": "a75fbd1d7648ab0c573345c47036cf76676f774a63a00319722b5e1a58681b2b",
+    "P-Code@5": "a33d6262e3107e6f20ac6d593460f9de5cbd8397486e76ba0277ef9162a847c9",
+    "Liberation@5": "4ae3f3af9f294d9bde1b5957498e207a3402bf6a3b68915e9ef10c5df81f30f9",
+    "Cauchy-RS@5": "2f79a0a0dcda004cf9385ac265e3f4d8868d06160049b6280646c0de708fbc86",
+    "HV@7": "99bbd539bd3913c91db1dc089777245d070c647d620c7600fbc460624fe0b215",
+    "RDP@7": "dac75c1f52c873e1138f13646cffdfa603ec4c734831082b4280bdd4520afc50",
+    "HDP@7": "170ded265f1b19fd1b5d0480ded7cecd99bc6ea6dff620af6ecf410d794bbd2f",
+    "X-Code@7": "05c623a4326f347381133e1e178e2d59fc6c8204b280c60c748c36c34babb40c",
+    "H-Code@7": "ae2470b3361a54a3e3f1040df6a97de2788527d95707ba3ee79f6acf7206f48b",
+    "EVENODD@7": "7efe954483a668b20e66cc09c601db9bac6bfe31b97fc3dc09cd9f5d159f18aa",
+    "P-Code@7": "fb59c3e26d15b5df6e7aa84c03d49620f99e7a6f5964dbf494dab1dd171d25fc",
+    "Liberation@7": "7ae1a774f361fc67b79838e0d5bf1174d6b891d9a197d80cce526ba9ed4e52ca",
+    "Cauchy-RS@7": "6f9de1a9412582222b071c60f3ba09011216257fd90a61c6db2e45449461f835",
+    "HV@11": "d5a295d5b2ddf4fda76b31f28f2241ab30cc26b71411554e040ea3e4765d649c",
+    "RDP@11": "02805d4b04ac741dbbc453f4f039361f7eca6bb09adc7fe4520d9a2c66d58fa4",
+    "HDP@11": "9b598541a3e9a68a7514d2d5d28493ffcb059dcdd4dbbd52d14e36b8ae566002",
+    "X-Code@11": "0322e79d843aa3e6175bf9bde7e30009cddb65eca985ee3c9ec4c18f7577fcd4",
+    "H-Code@11": "a8c1ad571ffc458a2837484602405a3af7884bc5efc0d7b5668813daec091d7d",
+    "EVENODD@11": "965d99542c0d8d435f540d337b3f2eecb0fe9aff7bba55f707dbbfdfcee0bea4",
+    "P-Code@11": "801be8c026cdeff1a630a14b7f1f602d40ef1a0dc7dddbecf99c86c51fe2411a",
+    "Liberation@11": "41841a80dd5411e01e312d27b5657dc2210f3a0666fd70db7e12bd95a90a2879",
+    "Cauchy-RS@11": "8a63e500493fabbfd5c4cadd90b6a26306f3c6ec2d3d926d4b6faaa1236a67a4",
 }
 
 
@@ -99,6 +155,47 @@ def pinned_plans():
         yield compile_plan(code, "update", update_cells, cache=cache)
 
 
+def pinned_plan_reports():
+    """Symbolically verify the full report set; yields reports.
+
+    Each yielded :class:`~repro.static.planverify.PlanVerificationReport`
+    has already proven every plan of its ``(code, p)`` — this call *is*
+    the proof pass, the pin check afterwards only detects drift.
+    """
+    from .planverify import plan_verification_reports
+
+    yield from plan_verification_reports()
+
+
+def _check_table(
+    kind: str,
+    items: Iterable[tuple[str, str]],
+    table: dict[str, str],
+) -> None:
+    """Shared pin-check core: every ``(key, sha)`` must match ``table``."""
+    for key, digest in items:
+        pinned = table.get(key)
+        if pinned is None:
+            raise CertificationError(
+                f"{key}: no pinned {kind} hash; add {digest} to "
+                "repro.static.pins"
+            )
+        if pinned != digest:
+            raise CertificationError(
+                f"{key}: {kind} hash {digest} does not match pinned "
+                f"{pinned} — the {kind} drifted"
+            )
+
+
+def check_certificate_pins(certificates) -> None:
+    """Verify code certificates against :data:`PINNED_CERTIFICATE_HASHES`."""
+    _check_table(
+        "certificate",
+        ((c.key, c.certificate_hash) for c in certificates),
+        PINNED_CERTIFICATE_HASHES,
+    )
+
+
 def check_plan_pins(plans=None) -> None:
     """Verify compiled-plan hashes against :data:`PINNED_PLAN_HASHES`.
 
@@ -106,36 +203,55 @@ def check_plan_pins(plans=None) -> None:
     mismatch or unpinned plan.  With no argument, compiles and checks
     the full pinned set.
     """
-    for plan in plans if plans is not None else pinned_plans():
-        pinned = PINNED_PLAN_HASHES.get(plan.key)
-        if pinned is None:
-            raise CertificationError(
-                f"{plan.key}: no pinned plan hash; add "
-                f"{plan.plan_hash} to repro.static.pins"
-            )
-        if pinned != plan.plan_hash:
-            raise CertificationError(
-                f"{plan.key}: plan hash {plan.plan_hash} does not match "
-                f"pinned {pinned} — the compiled schedule drifted"
-            )
+    plans = plans if plans is not None else pinned_plans()
+    _check_table(
+        "plan",
+        ((p.key, p.plan_hash) for p in plans),
+        PINNED_PLAN_HASHES,
+    )
 
 
-def check_pins(certificates) -> None:
-    """Verify certificates against the pin table.
+def check_plan_report_pins(reports=None) -> None:
+    """Verify plan-verification reports against
+    :data:`PINNED_PLAN_REPORT_HASHES`.
 
-    Raises :class:`~repro.exceptions.CertificationError` on the first
-    mismatch or on a certificate with no pin (so adding a code forces a
-    conscious re-pin).
+    With no argument, runs the full symbolic verification sweep first
+    (every code at every plan-verify prime) — the expensive but
+    authoritative path.
     """
-    for cert in certificates:
-        pinned = PINNED_CERTIFICATE_HASHES.get(cert.key)
-        if pinned is None:
-            raise CertificationError(
-                f"{cert.key}: no pinned certificate hash; add "
-                f"{cert.certificate_hash} to repro.static.pins"
-            )
-        if pinned != cert.certificate_hash:
-            raise CertificationError(
-                f"{cert.key}: certificate hash {cert.certificate_hash} does "
-                f"not match pinned {pinned} — the layout changed"
-            )
+    reports = reports if reports is not None else pinned_plan_reports()
+    _check_table(
+        "plan report",
+        ((r.key, r.report_hash) for r in reports),
+        PINNED_PLAN_REPORT_HASHES,
+    )
+
+
+def check_pins(
+    certificates=None,
+    plans=None,
+    plan_reports=None,
+) -> None:
+    """The single pin-verification entry point.
+
+    Called with no arguments, recomputes and checks *all three*
+    canonical sets — smoke certificates, pinned HV plans, and the
+    symbolic plan-verification reports.  Called with explicit
+    collections, checks exactly the ones given (so cheap callers can
+    skip the full symbolic sweep).  Raises
+    :class:`~repro.exceptions.CertificationError` on the first missing
+    pin or mismatch.
+    """
+    check_all = certificates is None and plans is None and plan_reports is None
+    if check_all:
+        from .certify import smoke_certificates
+
+        certificates = smoke_certificates()
+        plans = pinned_plans()
+        plan_reports = pinned_plan_reports()
+    if certificates is not None:
+        check_certificate_pins(certificates)
+    if plans is not None:
+        check_plan_pins(plans)
+    if plan_reports is not None:
+        check_plan_report_pins(plan_reports)

@@ -1,4 +1,4 @@
-"""The repo-specific lint rule catalogue (R001-R007).
+"""The repo-specific lint rule catalogue (R001-R009).
 
 Each rule is an :class:`ast`-level check with a stable identifier,
 applied per file by :mod:`repro.static.lint`.  The rules encode
@@ -113,10 +113,17 @@ class FileContext:
 
 
 class LintRule:
-    """Base class: subclasses set ``rule_id``/``summary`` and ``check``."""
+    """Base class: subclasses set ``rule_id``/``summary`` and ``check``.
+
+    Rules with ``driver_level = True`` are catalogue entries whose
+    logic lives in the lint driver (they need to see other rules'
+    *raw* results, which a per-file ``check`` cannot); their own
+    ``check`` yields nothing.
+    """
 
     rule_id = "R000"
     summary = "abstract rule"
+    driver_level = False
 
     def check(self, ctx: FileContext) -> list[LintViolation]:  # pragma: no cover
         raise NotImplementedError
@@ -546,7 +553,7 @@ class UnlockedSharedStateRule(LintRule):
     - methods whose name ends in ``_locked`` — the repo convention for
       "caller already holds the owning lock" (the suffix makes the
       contract grep-able at every call site);
-    - a ``# noqa: R008`` waiver — for genuinely single-owner state
+    - a ``noqa: R008`` waiver comment — for genuinely single-owner state
       such as a worker thread's private ledger, where the waiver text
       documents the ownership argument.
     """
@@ -682,6 +689,28 @@ class UnlockedSharedStateRule(LintRule):
         return out
 
 
+class StaleNoqaRule(LintRule):
+    """R009: a ``# noqa: RXXX`` waiver that no longer waives anything.
+
+    A waiver outlives the violation it was written for when the code
+    under it is refactored — and from then on it silently swallows any
+    *future* violation of that rule on the line.  The audit re-runs
+    the whole catalogue with waivers ignored and flags every explicit
+    ``RXXX`` code that suppresses no raw violation on its line (bare
+    ``# noqa`` and foreign codes like ruff's ``E731`` are out of
+    scope).  Driver-level: the logic lives in
+    :func:`repro.static.lint.lint_paths`, because a per-file rule
+    cannot observe the other rules' pre-waiver results.
+    """
+
+    rule_id = "R009"
+    summary = "stale noqa waiver suppresses no violation"
+    driver_level = True
+
+    def check(self, ctx: FileContext) -> list[LintViolation]:
+        return []
+
+
 #: The catalogue, in rule-id order.
 ALL_RULES: tuple[LintRule, ...] = (
     UnseededRandomRule(),
@@ -692,6 +721,7 @@ ALL_RULES: tuple[LintRule, ...] = (
     PerWordLoopRule(),
     JournalMutationRule(),
     UnlockedSharedStateRule(),
+    StaleNoqaRule(),
 )
 
 RULES_BY_ID: dict[str, LintRule] = {rule.rule_id: rule for rule in ALL_RULES}

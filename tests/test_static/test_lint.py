@@ -1,4 +1,4 @@
-"""Tests for the repo linter (rules R001-R008)."""
+"""Tests for the repo linter (rules R001-R009)."""
 
 import textwrap
 
@@ -504,6 +504,7 @@ class TestWaivers:
         assert violations == ()
 
     def test_mismatched_noqa_does_not_waive(self, tmp_path):
+        # The R004 still fires, and R009 flags the useless R001 waiver.
         violations = lint_source(
             tmp_path,
             """
@@ -511,7 +512,7 @@ class TestWaivers:
                 return x
             """,
         )
-        assert [v.rule for v in violations] == ["R004"]
+        assert sorted(v.rule for v in violations) == ["R004", "R009"]
 
 
 class TestDriver:
@@ -554,11 +555,11 @@ class TestDriver:
     def test_catalogue_is_complete(self):
         assert [r.rule_id for r in ALL_RULES] == [
             "R001", "R002", "R003", "R004", "R005", "R006", "R007",
-            "R008",
+            "R008", "R009",
         ]
         assert set(RULES_BY_ID) == {
             "R001", "R002", "R003", "R004", "R005", "R006", "R007",
-            "R008",
+            "R008", "R009",
         }
 
     def test_report_json_shape(self, tmp_path):

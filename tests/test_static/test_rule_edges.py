@@ -1,0 +1,255 @@
+"""Lint-rule edge cases: nesting, comprehensions, waiver placement, R009."""
+
+import textwrap
+
+from repro.static import lint_paths
+
+
+def lint_source(tmp_path, source, name="snippet.py", rules=None):
+    target = tmp_path / name
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(textwrap.dedent(source))
+    return lint_paths([target], rule_ids=rules).violations
+
+
+def _pkg(tmp_path, sub):
+    pkg = tmp_path / "repro"
+    (pkg / sub).mkdir(parents=True)
+    (pkg / "__init__.py").write_text("")
+    (pkg / sub / "__init__.py").write_text("")
+
+
+class TestNestedScopes:
+    def test_r006_in_nested_function(self, tmp_path):
+        _pkg(tmp_path, "engine")
+        violations = lint_source(
+            tmp_path,
+            """
+            def outer(dst, src):
+                def inner():
+                    for i in range(len(dst)):
+                        dst[i] ^= src[i]
+                return inner
+            """,
+            name="repro/engine/nested.py",
+        )
+        assert [v.rule for v in violations] == ["R006"]
+
+    def test_r006_inside_with_body(self, tmp_path):
+        _pkg(tmp_path, "engine")
+        violations = lint_source(
+            tmp_path,
+            """
+            def flush(dst, src, lock):
+                with lock:
+                    for i in range(len(dst)):
+                        dst[i] ^= src[i]
+            """,
+            name="repro/engine/withbody.py",
+        )
+        assert [v.rule for v in violations] == ["R006"]
+
+    def test_r007_mutator_call_in_comprehension(self, tmp_path):
+        _pkg(tmp_path, "journal")
+        violations = lint_source(
+            tmp_path,
+            """
+            def sneak(stripe, cells, buf):
+                return [stripe.set(cell, buf) for cell in cells]
+            """,
+            name="repro/journal/comp.py",
+        )
+        assert [v.rule for v in violations] == ["R007"]
+
+    def test_r007_buffer_write_inside_with_body(self, tmp_path):
+        _pkg(tmp_path, "journal")
+        violations = lint_source(
+            tmp_path,
+            """
+            def sneak(stripe, payload, fh):
+                with fh:
+                    stripe.data[0, 1][0:4] = payload
+            """,
+            name="repro/journal/withbody.py",
+        )
+        assert [v.rule for v in violations] == ["R007"]
+
+    def test_r008_mutation_in_nested_closure(self, tmp_path):
+        _pkg(tmp_path, "service")
+        violations = lint_source(
+            tmp_path,
+            """
+            class Pool:
+                def submit(self):
+                    def callback():
+                        self.pending += 1
+                    return callback
+            """,
+            name="repro/service/closure.py",
+        )
+        assert [v.rule for v in violations] == ["R008"]
+
+    def test_r008_non_lock_with_block_still_flags(self, tmp_path):
+        # A `with` over a file handle is not a lock; the mutation races.
+        _pkg(tmp_path, "service")
+        violations = lint_source(
+            tmp_path,
+            """
+            class Sink:
+                def drain(self, path):
+                    with open(path) as fh:
+                        self.rows.append(fh.read())
+            """,
+            name="repro/service/filewith.py",
+        )
+        assert [v.rule for v in violations] == ["R008"]
+
+    def test_r008_mutator_in_comprehension(self, tmp_path):
+        _pkg(tmp_path, "service")
+        violations = lint_source(
+            tmp_path,
+            """
+            class Fanout:
+                def push_all(self, items):
+                    return [self.queue.append(x) for x in items]
+            """,
+            name="repro/service/comp.py",
+        )
+        assert [v.rule for v in violations] == ["R008"]
+
+
+class TestWaiverPlacement:
+    def test_waiver_on_wrong_line_does_not_suppress(self, tmp_path):
+        """The noqa lands one line below the violation: both the real
+        violation and the stale waiver are reported."""
+        _pkg(tmp_path, "engine")
+        violations = lint_source(
+            tmp_path,
+            """
+            def oracle(dst, src):
+                for i in range(len(dst)):
+                    dst[i] ^= src[i]  # noqa: R006
+            """,
+            name="repro/engine/misplaced.py",
+        )
+        assert sorted(v.rule for v in violations) == ["R006", "R009"]
+        by_rule = {v.rule: v for v in violations}
+        # R006 anchors on the for-loop; the stale waiver sits below it.
+        assert by_rule["R009"].line == by_rule["R006"].line + 1
+
+    def test_waiver_on_the_right_line_suppresses_silently(self, tmp_path):
+        _pkg(tmp_path, "engine")
+        violations = lint_source(
+            tmp_path,
+            """
+            def oracle(dst, src):
+                for i in range(len(dst)):  # noqa: R006
+                    dst[i] ^= src[i]
+            """,
+            name="repro/engine/placed.py",
+        )
+        assert violations == ()
+
+
+class TestR009StaleNoqa:
+    def test_stale_waiver_flagged(self, tmp_path):
+        violations = lint_source(
+            tmp_path,
+            """
+            def fine():
+                return 1  # noqa: R001
+            """,
+        )
+        assert [v.rule for v in violations] == ["R009"]
+        assert "R001" in violations[0].message
+
+    def test_live_waiver_not_flagged(self, tmp_path):
+        violations = lint_source(
+            tmp_path,
+            """
+            import random
+
+            rng = random.Random()  # noqa: R001
+            """,
+        )
+        assert violations == ()
+
+    def test_bare_noqa_out_of_scope(self, tmp_path):
+        violations = lint_source(
+            tmp_path,
+            """
+            def fine():
+                return 1  # noqa
+            """,
+        )
+        assert violations == ()
+
+    def test_foreign_codes_out_of_scope(self, tmp_path):
+        # ruff's namespace is not ours to audit.
+        violations = lint_source(
+            tmp_path,
+            """
+            slot = lambda pos: pos[0]  # noqa: E731
+            """,
+        )
+        assert violations == ()
+
+    def test_unknown_repro_code_flagged(self, tmp_path):
+        violations = lint_source(
+            tmp_path,
+            """
+            def fine():
+                return 1  # noqa: R499
+            """,
+        )
+        assert [v.rule for v in violations] == ["R009"]
+        assert "does not exist" in violations[0].message
+
+    def test_one_live_one_stale_on_the_same_line(self, tmp_path):
+        violations = lint_source(
+            tmp_path,
+            """
+            import random
+
+            rng = random.Random()  # noqa: R001, R004
+            """,
+        )
+        assert [v.rule for v in violations] == ["R009"]
+        assert "R004" in violations[0].message
+
+    def test_r009_only_selection_still_runs_the_catalogue(self, tmp_path):
+        """Selecting just R009 must still see other rules' raw output
+        to know a waiver is live — and report only R009."""
+        violations = lint_source(
+            tmp_path,
+            """
+            import random
+
+            a = random.Random()  # noqa: R001
+            b = 1  # noqa: R001
+            """,
+            rules=["R009"],
+        )
+        assert [v.rule for v in violations] == ["R009"]
+        assert violations[0].line == 5
+
+    def test_r009_waiver_waives_r009(self, tmp_path):
+        violations = lint_source(
+            tmp_path,
+            """
+            def fine():
+                return 1  # noqa: R001, R009
+            """,
+        )
+        assert violations == ()
+
+    def test_excluding_r009_skips_the_audit(self, tmp_path):
+        violations = lint_source(
+            tmp_path,
+            """
+            def fine():
+                return 1  # noqa: R001
+            """,
+            rules=["R001", "R004"],
+        )
+        assert violations == ()
