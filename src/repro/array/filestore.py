@@ -120,17 +120,15 @@ class FileStore:
         cache_stripes: int = 0,
         journal: "ParityIntentJournal | bool | None" = None,
     ) -> None:
+        from ..engine import require_engine
+
         if element_size <= 0:
             raise InvalidParameterError("element_size must be positive")
-        if engine not in ("python", "vector"):
-            raise InvalidParameterError(
-                f"unknown engine {engine!r}; expected 'python' or 'vector'"
-            )
         if cache_stripes < 0:
             raise InvalidParameterError("cache_stripes must be >= 0")
         self.code = code
         self.element_size = element_size
-        self.engine = engine
+        self.engine = require_engine(engine)
         self._eps = code.data_elements_per_stripe  # hot-path copy
         self.stripes: list[Stripe] = []
         self.failed_disks: set[int] = set()
@@ -830,8 +828,9 @@ class FileStore:
         Stripes sharing a dirty pattern are grouped into one
         :class:`StripeBatch` of ``old ⊕ new`` deltas and run through a
         single compiled ``update`` plan (or a full re-encode when the
-        cost model prefers it).  Degraded stripes and the pure-Python
-        engine take the per-stripe chain walk instead.
+        cost model prefers it), executed on whichever kernel backend
+        the store's ``engine=`` selected.  Degraded stripes and the
+        pure-Python engine take the per-stripe chain walk instead.
 
         An attached injector's clock was already advanced per dirty
         element by :meth:`_ping_flush_io` before these entries were
@@ -846,7 +845,7 @@ class FileStore:
             flushed += 1
             stripe = self.stripes[idx]
             if (
-                self.engine != "vector"
+                self.engine == "python"
                 or stripe.erased.any()
                 or stripe.latent.any()
             ):
@@ -886,7 +885,7 @@ class FileStore:
             live = self.stripes[idx].data
             for pos in cells:
                 np.bitwise_xor(live[pos], entry.old[pos], out=delta.data[i][pos])
-        execute_plan(plan, delta, stats=self.stats)
+        execute_plan(plan, delta, stats=self.stats, backend=self.engine)
         apply_update(
             plan, delta, [self.stripes[idx] for idx, _ in group], stats=self.stats
         )

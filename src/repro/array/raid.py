@@ -78,12 +78,10 @@ class RAID6Volume:
         rotate_stripes: bool = False,
         engine: str = "python",
     ) -> None:
-        if engine not in ("python", "vector"):
-            raise InvalidParameterError(
-                f"unknown engine {engine!r}; expected 'python' or 'vector'"
-            )
+        from ..engine import require_engine
+
         self.code = code
-        self.engine = engine
+        self.engine = require_engine(engine)
         self.latency = latency or LatencyModel()
         self.addressing = VolumeAddressing(code, num_stripes, rotate_stripes)
         self.disks = [

@@ -235,6 +235,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="small fixed CI run (HV+RDP at 4 KiB elements, 1 repeat)",
     )
     bench.add_argument(
+        "--backends",
+        action="store_true",
+        help="add the kernel-backend sweep: every available backend "
+        "(vector/fused/parallel/native) times identical pre-built regions",
+    )
+    bench.add_argument(
+        "--threads",
+        default=None,
+        help="comma-separated worker counts for the parallel backend "
+        "(default: 1 and the host cpu count)",
+    )
+    bench.add_argument(
+        "--sweep-sizes",
+        default=None,
+        help="comma-separated element sizes for the backend sweep "
+        "(default 65536,1048576; smoke uses 4096)",
+    )
+    bench.add_argument(
         "--output",
         default="BENCH_engine.json",
         help="JSON results file (default BENCH_engine.json; '-' for stdout)",
@@ -362,7 +380,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--output", default=None)
 
     lint = sub.add_parser(
-        "lint", help="repo lint rules R001-R009 (AST-based, repo-specific)"
+        "lint", help="repo lint rules R001-R010 (AST-based, repo-specific)"
     )
     lint.add_argument(
         "paths",
@@ -827,6 +845,16 @@ def _run_bench_engine(args: argparse.Namespace) -> int:
         kwargs["codes"] = (args.code,)
     if args.element_size is not None:
         kwargs["element_size"] = args.element_size
+    if args.backends:
+        kwargs["backends"] = True
+        if args.threads:
+            kwargs["threads"] = tuple(
+                int(t) for t in args.threads.split(",") if t
+            )
+        if args.sweep_sizes:
+            kwargs["sweep_sizes"] = tuple(
+                int(s) for s in args.sweep_sizes.split(",") if s
+            )
     payload = run_engine_benchmark(**kwargs)
     rendered = json.dumps(payload, indent=2, sort_keys=True)
     if args.output and args.output != "-":
@@ -837,12 +865,26 @@ def _run_bench_engine(args: argparse.Namespace) -> int:
         print(rendered)
     # A human-readable digest on stdout either way.
     for row in payload["results"]:
-        vec = row["paths"]["vector"]["mb_per_s"]
+        auto = row["paths"]["auto"]["mb_per_s"]
         print(
-            f"{row['code']:<10} {row['op']:<15} vector {vec:>9.1f} MB/s  "
+            f"{row['code']:<10} {row['op']:<15} "
+            f"auto[{row['auto_backend']}] {auto:>9.1f} MB/s  "
             f"({row['speedup_vs_pure_python']:.1f}x pure-python, "
             f"{row['speedup_vs_python_element']:.2f}x python-element)"
         )
+    sweep = payload.get("backend_sweep")
+    if sweep:
+        print(
+            f"backend sweep: {len(sweep['rows'])} rows, "
+            f"cpu_count={sweep['cpu_count']}, "
+            f"backends={','.join(sweep['backends'])}"
+        )
+        for op, best in sorted(sweep["headline"].items()):
+            print(
+                f"  {op:<15} best {best['backend']} "
+                f"{best.get('mb_per_s', 0.0):>9.1f} MB/s  "
+                f"({best['speedup_vs_vector']:.2f}x vs vector)"
+            )
     return 0
 
 
@@ -977,7 +1019,7 @@ def _run_serve_bench(args: argparse.Namespace) -> int:
 
 
 def _run_lint(args: argparse.Namespace) -> int:
-    """Run the R001-R009 catalogue; exits 1 when violations remain."""
+    """Run the R001-R010 catalogue; exits 1 when violations remain."""
     import json
 
     from .static import default_lint_target, lint_paths

@@ -292,21 +292,19 @@ class ArrayCode(ABC):
     def encode(self, stripe: Stripe, *, engine: str = "python") -> None:
         """Fill every parity cell of ``stripe`` from its members.
 
-        ``engine="vector"`` routes through the compiled-plan executor
-        (:mod:`repro.engine`): the parity schedule is lowered once,
-        cached, and run as in-place word-wide XOR kernels.  The default
-        ``"python"`` path below stays the reference implementation.
+        Any compiled engine (``"vector"``, ``"fused"``, ``"parallel"``,
+        ``"native"``, ``"auto"`` — see :mod:`repro.engine.backends`)
+        routes through the plan executor: the parity schedule is
+        lowered once, cached, and run as in-place word-wide XOR
+        kernels by the selected backend.  The default ``"python"``
+        path below stays the reference implementation.
         """
         self._check_stripe(stripe)
-        if engine == "vector":
-            from ..engine import compile_plan, execute_plan
+        from ..engine import compile_plan, execute_plan, require_engine
 
-            execute_plan(compile_plan(self, "encode"), stripe)
+        if require_engine(engine) != "python":
+            execute_plan(compile_plan(self, "encode"), stripe, backend=engine)
             return
-        if engine != "python":
-            raise InvalidParameterError(
-                f"unknown engine {engine!r}; expected 'python' or 'vector'"
-            )
         for chain in self.encode_order:
             stripe.set(chain.parity, stripe.xor_of(chain.members))
 
@@ -455,12 +453,13 @@ class ArrayCode(ABC):
         the paper's codes use), then falls back to Gaussian elimination
         over the parity-check system for anything peeling cannot reach.
 
-        ``engine="vector"`` compiles the peel schedule for this erasure
-        pattern into an :class:`~repro.engine.XorPlan` (cached per
-        pattern) and executes it with word-wide XOR kernels.  Patterns
-        that peeling alone cannot finish — the ones that need the
-        Gaussian reference decoder — fall back to this pure-Python
-        path transparently.
+        Any compiled engine (``"vector"``, ``"fused"``, ``"parallel"``,
+        ``"native"``, ``"auto"``) compiles the peel schedule for this
+        erasure pattern into an :class:`~repro.engine.XorPlan` (cached
+        per pattern) and executes it with word-wide XOR kernels on the
+        selected backend.  Patterns that peeling alone cannot finish —
+        the ones that need the Gaussian reference decoder — fall back
+        to this pure-Python path transparently.
 
         Raises :class:`UnrecoverableFailureError` when the pattern
         exceeds the code's capability.
@@ -476,21 +475,19 @@ class ArrayCode(ABC):
                 f"{self.name}(p={self.p}): erasure pattern of {len(erased)} "
                 f"cells is beyond the code's capability"
             )
-        if engine == "vector":
-            report = self._decode_vector(stripe, erased)
+        from ..engine import require_engine
+
+        if require_engine(engine) != "python":
+            report = self._decode_vector(stripe, erased, engine)
             if report is not None:
                 return report
-        elif engine != "python":
-            raise InvalidParameterError(
-                f"unknown engine {engine!r}; expected 'python' or 'vector'"
-            )
         report = self._peel(stripe, erased)
         if erased:
             self._gaussian_decode(stripe, sorted(erased), report)
         return report
 
     def _decode_vector(
-        self, stripe: Stripe, erased: set[Position]
+        self, stripe: Stripe, erased: set[Position], engine: str = "vector"
     ) -> DecodeReport | None:
         """Compiled-plan decode; None when the pattern needs Gaussian."""
         from ..engine import compile_plan, execute_plan
@@ -501,7 +498,7 @@ class ArrayCode(ABC):
             plan = compile_plan(self, "decode", pattern)
         except PlanError:
             return None
-        execute_plan(plan, stripe)
+        execute_plan(plan, stripe, backend=engine)
         report = DecodeReport(rounds=plan.rounds)
         report.peeled.extend(plan.position_of(slot) for slot in plan.outputs)
         return report

@@ -89,16 +89,12 @@ class HVDoubleFailurePlan:
         XOR-word/kernel counters.
         """
         self.code._check_stripe(stripe)
-        if engine == "vector":
-            from ..engine import compile_plan, execute_plan
+        from ..engine import compile_plan, execute_plan, require_engine
 
+        if require_engine(engine) != "python":
             plan = compile_plan(self.code, "recover-double", (self.f1, self.f2))
-            execute_plan(plan, stripe, stats=stats, workers=workers)
+            execute_plan(plan, stripe, stats=stats, workers=workers, backend=engine)
             return
-        if engine != "python":
-            raise InvalidParameterError(
-                f"unknown engine {engine!r}; expected 'python' or 'vector'"
-            )
         depth = self.longest_chain
         for step in range(depth):
             for chain in self.chains:

@@ -17,10 +17,22 @@ Typical use::
     execute_plan(plan, stripe, workers=4)  # chains in parallel
 
 Higher layers normally never touch this module directly — they pass
-``engine="vector"`` to :meth:`ArrayCode.encode/decode`, the recovery
-planners, or :class:`RAID6Volume` and the wiring lands here.
+``engine="vector"`` (or any backend name from
+:mod:`repro.engine.backends`: ``fused``, ``parallel``, ``native``,
+``auto``) to :meth:`ArrayCode.encode/decode`, the recovery planners,
+or :class:`RAID6Volume` and the wiring lands here.
 """
 
+from .backends import (
+    ENGINE_CHOICES,
+    KernelBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+    require_engine,
+    resolve_backend,
+    shutdown_backends,
+)
 from .compile import (
     MAX_CSE_TEMPS,
     PLAN_CACHE,
@@ -31,22 +43,36 @@ from .compile import (
     eliminate_common_pairs,
     lower_single_recovery,
 )
-from .executor import apply_update, execute_plan, execute_plan_scalar
+from .executor import (
+    apply_update,
+    execute_plan,
+    execute_plan_scalar,
+    shutdown_executor_pool,
+)
 from .plan import PLAN_OPS, XorPlan, XorStep
 
 __all__ = [
+    "ENGINE_CHOICES",
     "MAX_CSE_TEMPS",
     "PLAN_CACHE",
     "PLAN_OPS",
     "UPDATE_STRATEGIES",
+    "KernelBackend",
     "PlanCache",
     "XorPlan",
     "XorStep",
     "apply_update",
+    "available_backends",
     "choose_update_strategy",
     "compile_plan",
     "eliminate_common_pairs",
     "execute_plan",
     "execute_plan_scalar",
+    "get_backend",
     "lower_single_recovery",
+    "register_backend",
+    "require_engine",
+    "resolve_backend",
+    "shutdown_backends",
+    "shutdown_executor_pool",
 ]

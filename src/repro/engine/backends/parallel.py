@@ -1,0 +1,167 @@
+"""The shared-memory process-pool backend.
+
+numpy releases the GIL inside its kernels, but a single thread still
+executes one kernel at a time — the committed BENCH_engine trajectory
+showed the vector engine ceiling out at one core's memory bandwidth.
+This backend partitions a region across a **persistent** pool of
+worker processes over a ``multiprocessing.shared_memory`` segment:
+
+- the region (a whole :class:`~repro.array.stripe.StripeBatch`, or
+  one large stripe) is copied into a shared segment once;
+- the *word axis* is split into ``workers`` contiguous chunks — XOR
+  plans are pointwise in the word index, so any split along that axis
+  is trivially independent and the result is byte-identical to serial
+  execution no matter the worker count or scheduling order
+  (deterministic work splitting, proven by the differential suite);
+- each worker attaches to the segment by name and runs the *fused*
+  tiled executor (:func:`~repro.engine.backends.fused.run_plan_region`)
+  over its chunk with private scratch temporaries;
+- the parent copies the region back and clears output flags.
+
+The pool is created lazily on first use and reused for the life of
+the process (`spawn` would re-import the package per worker; the
+backend prefers ``fork`` where the platform offers it, so the pool is
+cheap even for short benchmarks).  :func:`shutdown_parallel_pool`
+tears it down explicitly; an ``atexit`` hook covers interpreter exit.
+Regions below :data:`MIN_PARALLEL_BYTES` — where the copy-in/copy-out
+would dominate — execute inline through the fused backend instead.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import threading
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing import get_context, get_all_start_methods, shared_memory
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..executor import _check_geometry, _clear_outputs, _word_view
+from .base import KernelBackend, Target, charge_stats, split_targets
+from .fused import FusedBackend, run_plan_region, tile_columns
+
+if TYPE_CHECKING:
+    from ...array.iostats import IOStats
+    from ..plan import XorPlan
+
+#: Below this many region bytes the shared-memory round trip costs
+#: more than the kernels; the backend executes inline (fused) instead.
+MIN_PARALLEL_BYTES = 1 << 20
+
+_POOL: ProcessPoolExecutor | None = None
+_POOL_SIZE = 0
+_POOL_LOCK = threading.Lock()
+
+
+def _start_method() -> str:
+    return "fork" if "fork" in get_all_start_methods() else "spawn"
+
+
+def _pool(workers: int) -> ProcessPoolExecutor:
+    """The persistent pool, created lazily and grown on demand."""
+    global _POOL, _POOL_SIZE
+    with _POOL_LOCK:
+        if _POOL is None or _POOL_SIZE < workers:
+            if _POOL is not None:
+                _POOL.shutdown(wait=True)
+            _POOL = ProcessPoolExecutor(
+                max_workers=workers, mp_context=get_context(_start_method())
+            )
+            _POOL_SIZE = workers
+        return _POOL
+
+
+def shutdown_parallel_pool() -> None:
+    """Tear down the worker pool (safe to call when none exists)."""
+    global _POOL, _POOL_SIZE
+    with _POOL_LOCK:
+        if _POOL is not None:
+            _POOL.shutdown(wait=True)
+            _POOL = None
+            _POOL_SIZE = 0
+
+
+atexit.register(shutdown_parallel_pool)
+
+
+def _worker_run(args: tuple) -> int:
+    """Execute one word-axis chunk of a region inside a worker process.
+
+    ``args`` carries only picklable plain data: the shared segment
+    name, the region's shape/dtype, the flattened step schedule, and
+    the chunk bounds.  The worker attaches, views, runs the fused
+    region executor over its chunk, and detaches; nothing is returned
+    but the chunk's tile count (for the parent's kernel accounting).
+    """
+    (name, shape, dtype_str, steps, num_cells, num_temps, lo, hi, tile) = args
+    seg = shared_memory.SharedMemory(name=name)
+    try:
+        buf = np.ndarray(shape, dtype=np.dtype(dtype_str), buffer=seg.buf)
+        return run_plan_region(
+            buf[..., lo:hi], steps, num_cells, num_temps, tile
+        )
+    finally:
+        seg.close()
+
+
+class ParallelBackend(KernelBackend):
+    """Deterministic multi-core execution over shared memory."""
+
+    name = "parallel"
+
+    def __init__(self) -> None:
+        self._inline = FusedBackend()
+
+    def default_workers(self) -> int:
+        return max(os.cpu_count() or 1, 1)
+
+    def execute(
+        self,
+        plan: "XorPlan",
+        target: Target,
+        *,
+        stats: "IOStats | None" = None,
+        workers: int | None = None,
+    ) -> None:
+        workers = workers or self.default_workers()
+        for piece in split_targets(target):
+            _check_geometry(plan, piece)
+            buf = _word_view(piece)
+            words = buf.shape[-1]
+            chunks = min(workers, words)
+            if chunks <= 1 or buf.nbytes < MIN_PARALLEL_BYTES:
+                self._inline.execute(plan, piece, stats=stats)
+                continue
+            tile = tile_columns(buf.dtype, -(-words // chunks))
+            seg = shared_memory.SharedMemory(create=True, size=buf.nbytes)
+            try:
+                shared = np.ndarray(buf.shape, dtype=buf.dtype, buffer=seg.buf)
+                np.copyto(shared, buf)
+                bounds = [
+                    (i * words // chunks, (i + 1) * words // chunks)
+                    for i in range(chunks)
+                ]
+                tasks = [
+                    (
+                        seg.name,
+                        buf.shape,
+                        buf.dtype.str,
+                        plan.steps,
+                        plan.num_cells,
+                        plan.num_temps,
+                        lo,
+                        hi,
+                        tile,
+                    )
+                    for lo, hi in bounds
+                ]
+                ntiles = sum(_pool(workers).map(_worker_run, tasks))
+                np.copyto(buf, shared)
+                del shared
+            finally:
+                seg.close()
+                seg.unlink()
+            charge_stats(stats, plan, buf, plan.fused_kernel_calls * ntiles)
+            _clear_outputs(plan, piece)

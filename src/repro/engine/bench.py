@@ -17,16 +17,31 @@ is memory-bandwidth-bound, so ``vector`` beats ``python-element`` by
 its reduced passes and per-call overhead (roughly 1.1–3x), while the
 ``pure-python`` baseline is orders of magnitude behind.  Both ratios
 are recorded; nothing is extrapolated.
+
+``auto`` — whatever :func:`repro.engine.backends.resolve_backend`
+picks on this host — is also timed, and the headline
+``speedup_vs_python_element`` is quoted against it, since it is the
+path a caller who does not choose gets.
+
+:func:`run_backend_sweep` adds the backend × threads × region-size
+grid: every available backend executes the *same pre-built region*
+(timing covers plan execution only, no stripe copies or erasure
+bookkeeping inside the timed loop) and each row quotes its speedup
+against the single-thread ``vector`` path on the identical region.
+``cpu_count`` is recorded in the payload — multi-core rows on a
+one-core host are expected to show ~1x and that is the honest number.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import time
 from pathlib import Path
 
 from ..codes.registry import available_codes, get_code
 from ..exceptions import PlanError
+from .backends import available_backends, resolve_backend
 from .compile import PLAN_CACHE, compile_plan
 from .executor import execute_plan, execute_plan_scalar
 
@@ -39,6 +54,11 @@ DEFAULT_ELEMENT_SIZE = 64 * 1024
 #: Codes and size the CI smoke run uses — small enough for seconds.
 SMOKE_CODES = ("HV", "RDP")
 SMOKE_ELEMENT_SIZE = 4096
+
+#: Element sizes of the backend sweep: one L2-resident stripe and one
+#: DRAM-resident megabyte-scale region per batch lane.
+SWEEP_ELEMENT_SIZES = (64 * 1024, 1024 * 1024)
+SMOKE_SWEEP_ELEMENT_SIZES = (4096,)
 
 
 def _time(fn, repeats: int) -> float:
@@ -65,6 +85,7 @@ def _bench_encode(code, element_size: int, batch: int, repeats: int) -> dict:
     work = stripe.copy()
     t_elem = _time(lambda: code.encode(work), repeats)
     t_vec = _time(lambda: code.encode(work, engine="vector"), repeats)
+    t_auto = _time(lambda: code.encode(work, engine="auto"), repeats)
     group = StripeBatch.from_stripes([stripe.copy() for _ in range(batch)])
     t_batch = _time(lambda: execute_plan(plan, group), repeats) / batch
     t_scalar = _time(lambda: execute_plan_scalar(plan, work), 1)
@@ -74,13 +95,16 @@ def _bench_encode(code, element_size: int, batch: int, repeats: int) -> dict:
         "python-element": {"seconds": t_elem, "mb_per_s": _mb_per_s(stripe_bytes, 1, t_elem)},
         "vector": {"seconds": t_vec, "mb_per_s": _mb_per_s(stripe_bytes, 1, t_vec)},
         "vector-batch": {"seconds": t_batch, "mb_per_s": _mb_per_s(stripe_bytes, 1, t_batch)},
+        "auto": {"seconds": t_auto, "mb_per_s": _mb_per_s(stripe_bytes, 1, t_auto)},
     }
     return {
         "code": code.name,
         "op": "encode",
         "paths": paths,
-        "speedup_vs_pure_python": t_scalar / t_vec,
-        "speedup_vs_python_element": t_elem / t_vec,
+        "auto_backend": resolve_backend("auto").name,
+        "speedup_vs_pure_python": t_scalar / t_auto,
+        "speedup_vs_python_element": t_elem / t_auto,
+        "vector_speedup_vs_python_element": t_elem / t_vec,
         "plan": _plan_stats(plan),
     }
 
@@ -104,6 +128,11 @@ def _bench_decode(code, element_size: int, repeats: int) -> dict | None:
         broken.erase_disks(failed)
         code.decode(broken, engine="vector")
 
+    def run_auto():
+        broken = stripe.copy()
+        broken.erase_disks(failed)
+        code.decode(broken, engine="auto")
+
     def run_scalar():
         broken = stripe.copy()
         broken.erase_disks(failed)
@@ -111,19 +140,23 @@ def _bench_decode(code, element_size: int, repeats: int) -> dict | None:
 
     t_elem = _time(run_python, repeats)
     t_vec = _time(run_vector, repeats)
+    t_auto = _time(run_auto, repeats)
     t_scalar = _time(run_scalar, 1)
     paths = {
         "pure-python": {"seconds": t_scalar, "mb_per_s": _mb_per_s(stripe_bytes, 1, t_scalar)},
         "python-element": {"seconds": t_elem, "mb_per_s": _mb_per_s(stripe_bytes, 1, t_elem)},
         "vector": {"seconds": t_vec, "mb_per_s": _mb_per_s(stripe_bytes, 1, t_vec)},
+        "auto": {"seconds": t_auto, "mb_per_s": _mb_per_s(stripe_bytes, 1, t_auto)},
     }
     return {
         "code": code.name,
         "op": "recover-double",
         "pattern": list(failed),
         "paths": paths,
-        "speedup_vs_pure_python": t_scalar / t_vec,
-        "speedup_vs_python_element": t_elem / t_vec,
+        "auto_backend": resolve_backend("auto").name,
+        "speedup_vs_pure_python": t_scalar / t_auto,
+        "speedup_vs_python_element": t_elem / t_auto,
+        "vector_speedup_vs_python_element": t_elem / t_vec,
         "plan": _plan_stats(plan),
     }
 
@@ -133,9 +166,125 @@ def _plan_stats(plan) -> dict:
         "steps": len(plan.steps),
         "xors_per_word": plan.xors_per_word,
         "kernel_calls": plan.kernel_calls,
+        "fused_kernel_calls": plan.fused_kernel_calls,
         "num_temps": plan.num_temps,
         "rounds": plan.rounds,
         "hash": plan.plan_hash,
+    }
+
+
+# -- the backend × threads × region-size sweep ---------------------------------------
+
+
+def _build_region(code, element_size: int, batch: int, op: str, pattern):
+    """A pre-encoded (and, for recovery, pre-erased) StripeBatch region."""
+    from ..array.stripe import StripeBatch
+
+    stripes = [
+        code.random_stripe(element_size=element_size, seed=i + 1)
+        for i in range(batch)
+    ]
+    region = StripeBatch.from_stripes(stripes)
+    execute_plan(compile_plan(code, "encode"), region, backend="fused")
+    if op == "recover-double":
+        for i in range(batch):
+            region.stripe(i).erase_disks(pattern)
+    return region
+
+
+def run_backend_sweep(
+    codes: tuple[str, ...] | None = None,
+    p: int = 7,
+    element_sizes: tuple[int, ...] | None = None,
+    batch: int = 8,
+    repeats: int = 3,
+    threads: tuple[int, ...] | None = None,
+    smoke: bool = False,
+) -> dict:
+    """Time every available backend on identical pre-built regions.
+
+    The timed callable is ``execute_plan(plan, region, backend=...)``
+    and nothing else — regions are built (encoded, erased) before the
+    clock starts, so rows measure kernel execution, not benchmark
+    scaffolding.  Re-running a recovery plan on an already-repaired
+    region recomputes the same bytes, which is why one region can be
+    timed repeatedly.  ``threads`` applies to the ``parallel`` backend
+    only (one row per worker count); the other backends are
+    single-thread by design.
+    """
+    if smoke:
+        codes = codes or SMOKE_CODES
+        element_sizes = element_sizes or SMOKE_SWEEP_ELEMENT_SIZES
+        repeats = 1
+        batch = min(batch, 2)
+    names = codes or DEFAULT_CODES
+    element_sizes = element_sizes or SWEEP_ELEMENT_SIZES
+    cpus = os.cpu_count() or 1
+    threads = threads or tuple(sorted({1, cpus}))
+    backends = available_backends()
+    rows = []
+    headline: dict[str, dict] = {}
+    for name in names:
+        code = get_code(name, p)
+        for op, pattern in (("encode", ()), ("recover-double", (0, 1))):
+            try:
+                plan = compile_plan(code, op, pattern)
+            except PlanError:
+                continue
+            for element_size in element_sizes:
+                region = _build_region(code, element_size, batch, op, pattern)
+                region_bytes = batch * code.rows * code.cols * element_size
+                t_vec = _time(
+                    lambda: execute_plan(plan, region, backend="vector"), repeats
+                )
+                for backend in backends:
+                    workers_axis = threads if backend == "parallel" else (None,)
+                    for workers in workers_axis:
+                        t = _time(
+                            lambda: execute_plan(
+                                plan, region, backend=backend, workers=workers
+                            ),
+                            repeats,
+                        )
+                        row = {
+                            "code": code.name,
+                            "op": op,
+                            "element_size": element_size,
+                            "batch": batch,
+                            "region_bytes": region_bytes,
+                            "backend": backend,
+                            "workers": workers,
+                            "seconds": t,
+                            "mb_per_s": _mb_per_s(region_bytes, 1, t),
+                            "speedup_vs_vector": t_vec / t,
+                        }
+                        rows.append(row)
+                        best = headline.setdefault(
+                            op, {"backend": backend, "speedup_vs_vector": 0.0}
+                        )
+                        if (
+                            backend != "vector"
+                            and row["speedup_vs_vector"]
+                            > best["speedup_vs_vector"]
+                        ):
+                            headline[op] = {
+                                "backend": backend,
+                                "code": code.name,
+                                "element_size": element_size,
+                                "workers": workers,
+                                "speedup_vs_vector": row["speedup_vs_vector"],
+                                "mb_per_s": row["mb_per_s"],
+                            }
+                del region
+    return {
+        "cpu_count": cpus,
+        "backends": list(backends),
+        "threads": list(threads),
+        "element_sizes": list(element_sizes),
+        "batch": batch,
+        "repeats": repeats,
+        "rows": rows,
+        "headline": headline,
     }
 
 
@@ -146,13 +295,24 @@ def run_engine_benchmark(
     batch: int = 8,
     repeats: int = 3,
     smoke: bool = False,
+    backends: bool = False,
+    threads: tuple[int, ...] | None = None,
+    sweep_sizes: tuple[int, ...] | None = None,
 ) -> dict:
-    """Sweep the engine benchmark and return the BENCH_engine payload."""
+    """Sweep the engine benchmark and return the BENCH_engine payload.
+
+    ``backends=True`` appends the :func:`run_backend_sweep` grid under
+    the ``backend_sweep`` key; ``threads`` and ``sweep_sizes`` shape
+    that grid.
+    """
     if smoke:
         codes = codes or SMOKE_CODES
         element_size = min(element_size, SMOKE_ELEMENT_SIZE)
         repeats = 1
     names = codes or DEFAULT_CODES
+    # Force optional-backend detection (the native backend compiles its
+    # C kernel on first probe) before any clock starts.
+    available_backends()
     results = []
     for name in names:
         code = get_code(name, p)
@@ -160,7 +320,7 @@ def run_engine_benchmark(
         decode_row = _bench_decode(code, element_size, repeats)
         if decode_row is not None:
             results.append(decode_row)
-    return {
+    payload = {
         "benchmark": "engine-throughput",
         "p": p,
         "element_size": element_size,
@@ -170,6 +330,17 @@ def run_engine_benchmark(
         "results": results,
         "plan_cache": PLAN_CACHE.stats(),
     }
+    if backends:
+        payload["backend_sweep"] = run_backend_sweep(
+            codes=codes,
+            p=p,
+            element_sizes=sweep_sizes,
+            batch=batch,
+            repeats=repeats,
+            threads=threads,
+            smoke=smoke,
+        )
+    return payload
 
 
 def write_engine_benchmark(path: str | Path, **kwargs) -> dict:

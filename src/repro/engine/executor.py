@@ -24,10 +24,17 @@ assert it):
 
 Element sizes that are not a multiple of 8 fall back from the
 ``uint64`` view to a ``uint8`` view transparently.
+
+Further execution strategies — fused tiled regions, a shared-memory
+process pool, a compiled C inner loop — live in
+:mod:`repro.engine.backends` and are reachable here through
+``execute_plan(..., backend=...)`` or directly via the registry.
 """
 
 from __future__ import annotations
 
+import atexit
+import threading
 from collections.abc import Sequence
 from concurrent.futures import ThreadPoolExecutor
 from typing import TYPE_CHECKING, Union
@@ -43,6 +50,38 @@ if TYPE_CHECKING:
 
 #: What the executor accepts as a target.
 Target = Union[Stripe, StripeBatch, Sequence[Stripe]]
+
+# The ``workers=`` thread pool is created lazily on first use and kept
+# for the life of the process: recovery workloads execute thousands of
+# small plans, and paying ThreadPoolExecutor startup (thread spawn,
+# queue setup) per call used to dominate sub-millisecond executions.
+_THREAD_POOL: ThreadPoolExecutor | None = None
+_THREAD_POOL_SIZE = 0
+_THREAD_POOL_LOCK = threading.Lock()
+
+
+def _thread_pool(workers: int) -> ThreadPoolExecutor:
+    global _THREAD_POOL, _THREAD_POOL_SIZE
+    with _THREAD_POOL_LOCK:
+        if _THREAD_POOL is None or _THREAD_POOL_SIZE < workers:
+            if _THREAD_POOL is not None:
+                _THREAD_POOL.shutdown(wait=True)
+            _THREAD_POOL = ThreadPoolExecutor(max_workers=workers)
+            _THREAD_POOL_SIZE = workers
+        return _THREAD_POOL
+
+
+def shutdown_executor_pool() -> None:
+    """Tear down the persistent ``workers=`` thread pool (idempotent)."""
+    global _THREAD_POOL, _THREAD_POOL_SIZE
+    with _THREAD_POOL_LOCK:
+        if _THREAD_POOL is not None:
+            _THREAD_POOL.shutdown(wait=True)
+            _THREAD_POOL = None
+            _THREAD_POOL_SIZE = 0
+
+
+atexit.register(shutdown_executor_pool)
 
 
 def _word_view(target: Stripe | StripeBatch) -> np.ndarray:
@@ -66,13 +105,24 @@ def execute_plan(
     *,
     stats: "IOStats | None" = None,
     workers: int | None = None,
+    backend: str | None = None,
 ) -> None:
     """Execute ``plan`` in place on a stripe, batch, or list of stripes.
 
     ``stats`` (an :class:`~repro.array.iostats.IOStats`) accumulates
     the word-XOR and kernel-invocation counts of the run.  ``workers``
     enables the parallel path for plans with independent groups.
+    ``backend`` selects a registered kernel backend by name (``fused``,
+    ``parallel``, ``native``, ``auto``); ``None`` or ``"vector"`` runs
+    the classic per-step path below.
     """
+    if backend is not None and backend != "vector":
+        from .backends import resolve_backend
+
+        resolve_backend(backend).execute(
+            plan, target, stats=stats, workers=workers
+        )
+        return
     if isinstance(target, Stripe):
         _execute_on(plan, target, stats=stats, workers=workers)
     elif isinstance(target, StripeBatch):
@@ -129,10 +179,9 @@ def _execute_on(
 
     if workers and workers > 1 and plan.groups:
         xors, kernels = run_steps(range(plan.preamble))
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            for gx, gk in pool.map(run_steps, plan.groups):
-                xors += gx
-                kernels += gk
+        for gx, gk in _thread_pool(workers).map(run_steps, plan.groups):
+            xors += gx
+            kernels += gk
     else:
         xors, kernels = run_steps(range(len(plan.steps)))
 

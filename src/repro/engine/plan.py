@@ -163,6 +163,16 @@ class XorPlan:
         """Vector-kernel invocations the executor issues per batch."""
         return sum(max(step.xors, 1) for step in self.steps)
 
+    @property
+    def fused_kernel_calls(self) -> int:
+        """Kernel invocations under the fused backends: one multi-source
+        reduction per destination, however many sources a step has.
+        Always ≤ :attr:`kernel_calls`; the gap is the dispatch overhead
+        fusion eliminates.  A cost-model property only — not part of
+        :meth:`to_dict`, so plan hashes are unaffected.
+        """
+        return len(self.steps)
+
     @cached_property
     def reads(self) -> tuple[int, ...]:
         """Cell slots the plan reads before (or without) writing them."""

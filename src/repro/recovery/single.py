@@ -93,18 +93,14 @@ class SingleDiskRecoveryPlan:
             raise InvalidParameterError(
                 f"plan for {self.code_name} cannot run on {code.name}"
             )
-        if engine == "vector":
-            from ..engine import execute_plan, lower_single_recovery
+        from ..engine import execute_plan, lower_single_recovery, require_engine
 
+        if require_engine(engine) != "python":
             execute_plan(
                 lower_single_recovery(code, self), stripe,
-                stats=stats, workers=workers,
+                stats=stats, workers=workers, backend=engine,
             )
             return
-        if engine != "python":
-            raise InvalidParameterError(
-                f"unknown engine {engine!r}; expected 'python' or 'vector'"
-            )
         for cell in sorted(self.choices):
             chain = self.choices[cell]
             others = [c for c in chain.equation_cells if c != cell]

@@ -36,7 +36,15 @@ if TYPE_CHECKING:
 
 
 class VolumePool:
-    """A fixed-size volume sharded over independent FileStores."""
+    """A fixed-size volume sharded over independent FileStores.
+
+    ``engine=`` accepts any kernel-backend name from
+    :data:`repro.engine.ENGINE_CHOICES` (``vector``, ``fused``,
+    ``parallel``, ``native``, ``auto``, or the pure-Python reference
+    path) and applies it to every shard's store, so encode, flush, and
+    rebuild work inside the shard workers all run on the selected
+    backend.
+    """
 
     def __init__(
         self,

@@ -1,4 +1,4 @@
-"""The repo-specific lint rule catalogue (R001-R009).
+"""The repo-specific lint rule catalogue (R001-R010).
 
 Each rule is an :class:`ast`-level check with a stable identifier,
 applied per file by :mod:`repro.static.lint`.  The rules encode
@@ -34,6 +34,13 @@ at the source level:
   ``.write_locked()``, ...).  Constructors, and methods whose name
   ends in ``_locked`` (the repo convention for "caller holds the
   lock"), are exempt; single-owner state carries an explicit waiver.
+- **R010** — kernel-backend hygiene: ``multiprocessing`` /
+  ``shared_memory`` / ``ProcessPoolExecutor`` primitives may appear
+  only inside :mod:`repro.engine.backends` (one process-pool lifecycle
+  to audit, one shared-memory cleanup path), and a backend's
+  ``execute*`` entry points must accept the ``stats`` seam so no
+  kernel work runs off the :class:`~repro.array.iostats.IOStats`
+  ledger.  ``ThreadPoolExecutor`` stays legal everywhere.
 
 A violating line can be waived with a trailing ``# noqa: RXXX``
 comment (or a bare ``# noqa`` to waive every rule on the line).
@@ -711,6 +718,137 @@ class StaleNoqaRule(LintRule):
         return []
 
 
+class BackendHygieneRule(LintRule):
+    """R010: process-pool and shared-memory primitives stay in backends.
+
+    The kernel backends own the repo's only worker processes and
+    shared-memory segments, and both come with lifecycle obligations —
+    a persistent pool that must be shut down, segments that must be
+    unlinked exactly once, fork/spawn differences in resource
+    tracking.  Concentrating every such primitive inside
+    ``repro.engine.backends`` keeps that audit surface a single
+    package.  Two checks:
+
+    - anywhere else in the ``repro`` package, importing or calling
+      ``multiprocessing`` (any submodule, ``shared_memory`` included)
+      or ``concurrent.futures.ProcessPoolExecutor`` is a violation
+      (``ThreadPoolExecutor`` is fine — threads share the ledger and
+      need no segment cleanup);
+    - inside ``repro.engine.backends``, every ``execute`` /
+      ``execute_*`` function must take a ``stats`` parameter, so no
+      backend entry point can run kernels off the
+      :class:`~repro.array.iostats.IOStats` ledger.
+    """
+
+    rule_id = "R010"
+    summary = (
+        "multiprocessing/shared-memory primitive outside "
+        "repro.engine.backends, or a backend entry point without the "
+        "IOStats seam"
+    )
+
+    ALLOWED_PREFIX = "repro.engine.backends"
+    BANNED_IMPORT_ROOT = "multiprocessing"
+    BANNED_NAMES = frozenset({"concurrent.futures.ProcessPoolExecutor"})
+
+    def _scope(self, ctx: FileContext) -> str:
+        if ctx.module == self.ALLOWED_PREFIX or ctx.module.startswith(
+            self.ALLOWED_PREFIX + "."
+        ):
+            return "backends"
+        if ctx.module == "repro" or ctx.module.startswith("repro."):
+            return "package"
+        return "outside"
+
+    def _check_primitives(self, ctx: FileContext) -> list[LintViolation]:
+        out: list[LintViolation] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    if root == self.BANNED_IMPORT_ROOT:
+                        out.append(
+                            self.violation(
+                                ctx,
+                                node,
+                                f"import of {alias.name}; process/shared-"
+                                "memory primitives belong in "
+                                "repro.engine.backends",
+                            )
+                        )
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                module = node.module or ""
+                if module.split(".")[0] == self.BANNED_IMPORT_ROOT:
+                    out.append(
+                        self.violation(
+                            ctx,
+                            node,
+                            f"import from {module}; process/shared-memory "
+                            "primitives belong in repro.engine.backends",
+                        )
+                    )
+                elif module == "concurrent.futures":
+                    for alias in node.names:
+                        if alias.name == "ProcessPoolExecutor":
+                            out.append(
+                                self.violation(
+                                    ctx,
+                                    node,
+                                    "import of ProcessPoolExecutor; worker "
+                                    "pools belong in repro.engine.backends",
+                                )
+                            )
+            elif isinstance(node, ast.Call):
+                name = ctx.resolve_call(node.func)
+                if name in self.BANNED_NAMES or (
+                    name is not None
+                    and name.split(".")[0] == self.BANNED_IMPORT_ROOT
+                ):
+                    out.append(
+                        self.violation(
+                            ctx,
+                            node,
+                            f"{name}() call; process/shared-memory "
+                            "primitives belong in repro.engine.backends",
+                        )
+                    )
+        return out
+
+    def _check_stats_seam(self, ctx: FileContext) -> list[LintViolation]:
+        out: list[LintViolation] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if node.name != "execute" and not node.name.startswith("execute_"):
+                continue
+            args = node.args
+            names = {
+                a.arg
+                for a in (
+                    *args.posonlyargs, *args.args, *args.kwonlyargs
+                )
+            }
+            if "stats" not in names:
+                out.append(
+                    self.violation(
+                        ctx,
+                        node,
+                        f"backend entry point {node.name}() has no 'stats' "
+                        "parameter; kernel work must be chargeable to the "
+                        "IOStats ledger",
+                    )
+                )
+        return out
+
+    def check(self, ctx: FileContext) -> list[LintViolation]:
+        scope = self._scope(ctx)
+        if scope == "backends":
+            return self._check_stats_seam(ctx)
+        if scope == "package":
+            return self._check_primitives(ctx)
+        return []
+
+
 #: The catalogue, in rule-id order.
 ALL_RULES: tuple[LintRule, ...] = (
     UnseededRandomRule(),
@@ -722,6 +860,7 @@ ALL_RULES: tuple[LintRule, ...] = (
     JournalMutationRule(),
     UnlockedSharedStateRule(),
     StaleNoqaRule(),
+    BackendHygieneRule(),
 )
 
 RULES_BY_ID: dict[str, LintRule] = {rule.rule_id: rule for rule in ALL_RULES}

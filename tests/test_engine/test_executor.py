@@ -144,6 +144,44 @@ class TestStatsAndWorkers:
         assert serial == ref
         assert pooled == ref
 
+    def test_worker_pool_persists_across_calls(self, monkeypatch):
+        """Regression: each workers= call used to spin up (and tear down)
+        a fresh ThreadPoolExecutor.  The pool must now be created once,
+        reused while big enough, and grown — not churned — on demand."""
+        from repro.engine import executor as executor_mod
+
+        executor_mod.shutdown_executor_pool()
+        built = []
+        real_pool_cls = executor_mod.ThreadPoolExecutor
+
+        def counting_pool(*args, **kwargs):
+            pool = real_pool_cls(*args, **kwargs)
+            built.append(kwargs.get("max_workers"))
+            return pool
+
+        monkeypatch.setattr(
+            executor_mod, "ThreadPoolExecutor", counting_pool
+        )
+        code = get_code("HV", 7)
+        plan = compile_plan(code, "recover-double", (0, 1))
+        ref = code.random_stripe(element_size=32, seed=11)
+
+        def run(workers):
+            work = ref.copy()
+            work.erase_disks([0, 1])
+            execute_plan(plan, work, workers=workers)
+            assert work == ref
+
+        run(2)
+        run(2)
+        assert built == [2]  # second call reused the pool
+        run(4)
+        run(3)  # 3 <= 4: the grown pool still serves
+        assert built == [2, 4]
+        executor_mod.shutdown_executor_pool()
+        executor_mod.shutdown_executor_pool()  # idempotent
+        assert executor_mod._THREAD_POOL is None
+
 
 class TestGuards:
     def test_rejects_geometry_mismatch(self):

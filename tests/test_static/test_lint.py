@@ -1,4 +1,4 @@
-"""Tests for the repo linter (rules R001-R009)."""
+"""Tests for the repo linter (rules R001-R010)."""
 
 import textwrap
 
@@ -481,6 +481,132 @@ class TestR008UnlockedSharedState:
         assert report.clean, report.render()
 
 
+class TestR010BackendHygiene:
+    def _pkg(self, tmp_path, *subs):
+        pkg = tmp_path / "repro"
+        pkg.mkdir(exist_ok=True)
+        (pkg / "__init__.py").write_text("")
+        for sub in subs:
+            path = pkg
+            for part in sub.split("/"):
+                path = path / part
+                path.mkdir(exist_ok=True)
+                (path / "__init__.py").write_text("")
+
+    def test_flags_multiprocessing_import_outside_backends(self, tmp_path):
+        self._pkg(tmp_path, "array")
+        violations = lint_source(
+            tmp_path,
+            """
+            import multiprocessing
+
+            def spawn():
+                return multiprocessing.Pool(4)
+            """,
+            name="repro/array/fastpath.py",
+        )
+        assert [v.rule for v in violations] == ["R010", "R010"]
+        assert "repro.engine.backends" in violations[0].message
+
+    def test_flags_shared_memory_import_outside_backends(self, tmp_path):
+        self._pkg(tmp_path, "engine")
+        violations = lint_source(
+            tmp_path,
+            """
+            from multiprocessing import shared_memory
+
+            def attach(name):
+                return shared_memory.SharedMemory(name=name)
+            """,
+            name="repro/engine/shortcut.py",
+        )
+        assert [v.rule for v in violations] == ["R010", "R010"]
+
+    def test_flags_process_pool_import_outside_backends(self, tmp_path):
+        self._pkg(tmp_path, "service")
+        violations = lint_source(
+            tmp_path,
+            """
+            from concurrent.futures import ProcessPoolExecutor
+
+            def pool():
+                return ProcessPoolExecutor(max_workers=2)
+            """,
+            name="repro/service/workers.py",
+        )
+        assert [v.rule for v in violations] == ["R010", "R010"]
+        assert "ProcessPoolExecutor" in violations[0].message
+
+    def test_thread_pool_stays_legal_everywhere(self, tmp_path):
+        self._pkg(tmp_path, "engine")
+        violations = lint_source(
+            tmp_path,
+            """
+            from concurrent.futures import ThreadPoolExecutor
+
+            def pool(workers):
+                return ThreadPoolExecutor(max_workers=workers)
+            """,
+            name="repro/engine/threads.py",
+        )
+        assert violations == ()
+
+    def test_allows_primitives_inside_backends(self, tmp_path):
+        self._pkg(tmp_path, "engine/backends")
+        violations = lint_source(
+            tmp_path,
+            """
+            from concurrent.futures import ProcessPoolExecutor
+            from multiprocessing import shared_memory
+
+            def execute(plan, target, *, stats=None, workers=None):
+                seg = shared_memory.SharedMemory(create=True, size=8)
+                seg.close()
+                seg.unlink()
+            """,
+            name="repro/engine/backends/mine.py",
+        )
+        assert violations == ()
+
+    def test_flags_backend_entry_point_without_stats_seam(self, tmp_path):
+        self._pkg(tmp_path, "engine/backends")
+        violations = lint_source(
+            tmp_path,
+            """
+            def execute(plan, target, *, workers=None):
+                pass
+
+            def execute_region(plan, buf):
+                pass
+            """,
+            name="repro/engine/backends/silent.py",
+        )
+        assert [v.rule for v in violations] == ["R010", "R010"]
+        assert "IOStats" in violations[0].message
+
+    def test_ignores_files_outside_the_package(self, tmp_path):
+        violations = lint_source(
+            tmp_path,
+            """
+            import multiprocessing
+
+            def execute(job):
+                return multiprocessing.cpu_count()
+            """,
+        )
+        assert violations == ()
+
+    def test_shipped_backends_package_is_clean(self):
+        from pathlib import Path
+
+        import repro
+
+        report = lint_paths(
+            [Path(repro.__file__).parent], rule_ids=["R010"]
+        )
+        assert report.clean
+
+
 class TestWaivers:
     def test_noqa_with_rule_id_waives(self, tmp_path):
         violations = lint_source(
@@ -555,11 +681,11 @@ class TestDriver:
     def test_catalogue_is_complete(self):
         assert [r.rule_id for r in ALL_RULES] == [
             "R001", "R002", "R003", "R004", "R005", "R006", "R007",
-            "R008", "R009",
+            "R008", "R009", "R010",
         ]
         assert set(RULES_BY_ID) == {
             "R001", "R002", "R003", "R004", "R005", "R006", "R007",
-            "R008", "R009",
+            "R008", "R009", "R010",
         }
 
     def test_report_json_shape(self, tmp_path):
