@@ -369,6 +369,19 @@ def build_parser() -> argparse.ArgumentParser:
         "scale configuration; 0 skips it)",
     )
     serve.add_argument(
+        "--engine",
+        choices=("python", "vector", "fused", "parallel", "native", "auto"),
+        default="vector",
+        help="kernel backend every shard store runs on (timing-side "
+        "knob; the report hash never sees it)",
+    )
+    serve.add_argument(
+        "--affinity",
+        action="store_true",
+        help="pin each shard to its own resident arena and parallel-"
+        "backend worker slots",
+    )
+    serve.add_argument(
         "--smoke",
         action="store_true",
         help="fixed CI run (HV+RDP, 2 shards), verified against the "
@@ -885,6 +898,21 @@ def _run_bench_engine(args: argparse.Namespace) -> int:
                 f"{best.get('mb_per_s', 0.0):>9.1f} MB/s  "
                 f"({best['speedup_vs_vector']:.2f}x vs vector)"
             )
+        ab = sweep.get("arena_ab")
+        if ab:
+            for row in ab["rows"]:
+                print(
+                    f"  parallel arena={row['arena']:<3} "
+                    f"{row['shm_copy_bytes_per_call']:>12.0f} shm copy "
+                    f"bytes/call  {row['mb_per_s']:>9.1f} MB/s  "
+                    f"(match={row['match']})"
+                )
+            pool = ab["pool_arena"]
+            print(
+                f"  pool arena hit rate {pool['hit_rate']:.2f} "
+                f"({pool['hits']} hits / {pool['misses']} misses, "
+                f"{pool['segments']} segments)"
+            )
     return 0
 
 
@@ -930,6 +958,14 @@ def _run_bench_write(args: argparse.Namespace) -> int:
         f"{journaled['journal_records']} intent/commit records, "
         f"{journaled['journal_bytes'] / 1e6:.1f} MB journaled"
     )
+    native = head.get("native")
+    if native:
+        print(
+            f"native {native['mb_per_s']:.1f} MB/s "
+            f"({native['speedup_vs_baseline']:.1f}x baseline, "
+            f"{native['speedup_vs_cached']:.2f}x cached-vector) via "
+            f"{native['kernel_invocations']} fused update kernel calls"
+        )
     by_code: dict[str, list] = {}
     for row in payload["sweep"]:
         by_code.setdefault(row["code"], []).append(row)
@@ -1002,6 +1038,8 @@ def _run_serve_bench(args: argparse.Namespace) -> int:
         seed=args.seed,
         headline_ops=args.headline_ops,
         smoke=args.smoke,
+        engine=args.engine,
+        backend_affinity=args.affinity,
     )
     if args.json:
         rendered = json.dumps(payload, indent=2, sort_keys=True)

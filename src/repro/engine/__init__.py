@@ -26,7 +26,11 @@ or :class:`RAID6Volume` and the wiring lands here.
 from .backends import (
     ENGINE_CHOICES,
     KernelBackend,
+    RegionArena,
+    RegionLease,
     available_backends,
+    configure_backend,
+    find_resident,
     get_backend,
     register_backend,
     require_engine,
@@ -59,15 +63,19 @@ __all__ = [
     "UPDATE_STRATEGIES",
     "KernelBackend",
     "PlanCache",
+    "RegionArena",
+    "RegionLease",
     "XorPlan",
     "XorStep",
     "apply_update",
     "available_backends",
     "choose_update_strategy",
     "compile_plan",
+    "configure_backend",
     "eliminate_common_pairs",
     "execute_plan",
     "execute_plan_scalar",
+    "find_resident",
     "get_backend",
     "lower_single_recovery",
     "register_backend",

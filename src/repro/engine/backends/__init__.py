@@ -32,10 +32,11 @@ from typing import TYPE_CHECKING
 
 from ...exceptions import InvalidParameterError
 from .. import executor as _executor
+from .arena import RegionArena, RegionLease, find_resident
 from .base import KernelBackend, Target, charge_stats, split_targets
 from .fused import FusedBackend
 from .native import NativeBackend
-from .parallel import ParallelBackend, shutdown_parallel_pool
+from .parallel import ParallelBackend, configure_backend, shutdown_parallel_pool
 
 if TYPE_CHECKING:
     from ...array.iostats import IOStats
@@ -48,9 +49,13 @@ __all__ = [
     "FusedBackend",
     "ParallelBackend",
     "NativeBackend",
+    "RegionArena",
+    "RegionLease",
     "ENGINE_CHOICES",
     "available_backends",
     "charge_stats",
+    "configure_backend",
+    "find_resident",
     "get_backend",
     "register_backend",
     "require_engine",
@@ -72,6 +77,7 @@ class VectorBackend(KernelBackend):
         *,
         stats: "IOStats | None" = None,
         workers: int | None = None,
+        affinity: int | None = None,
     ) -> None:
         _executor.execute_plan(plan, target, stats=stats, workers=workers)
 
@@ -151,6 +157,11 @@ def require_engine(engine: str) -> str:
 
 
 def shutdown_backends() -> None:
-    """Release pooled resources (worker processes, executor threads)."""
+    """Release pooled resources (worker processes, executor threads,
+    arena shared-memory segments)."""
     shutdown_parallel_pool()
     _executor.shutdown_executor_pool()
+    for backend in _REGISTRY.values():
+        arena = getattr(backend, "arena", None)
+        if arena is not None:
+            arena.close()

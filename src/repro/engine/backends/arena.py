@@ -1,0 +1,355 @@
+"""Resident shared-memory region arenas with a lease/epoch protocol.
+
+The pre-arena parallel backend paid a full shared-memory round trip
+per call: create a segment, copy the region in, fan out, copy it back,
+unlink.  At flush/serve rates that copy tax dominates — the kernels
+themselves are memory-bound, so moving every byte twice more per call
+roughly triples traffic.  A :class:`RegionArena` removes it:
+
+- **Segments are pooled.**  ``lease(nbytes)`` hands back the smallest
+  free segment that fits (an arena *hit*) or allocates a named
+  ``multiprocessing.shared_memory`` segment (a *miss*).  ``release()``
+  returns the segment to the pool instead of unlinking, so steady-state
+  executions allocate nothing.
+- **Regions can live in the arena.**  :meth:`RegionArena.lease_batch`
+  allocates a :class:`~repro.array.stripe.StripeBatch` whose ``data``
+  is a view *inside* a segment.  When such a region reaches the
+  parallel backend, workers attach by name and mutate it in place —
+  per-call copy bytes drop to zero (``IOStats.shm_copy_bytes``).
+- **Epochs invalidate stale views.**  Every lease stamps the segment
+  with a fresh *generation* from the arena's epoch counter.  Workers
+  cache attachments keyed by ``(name, generation)``
+  (:func:`attach_segment`); a reused segment's bumped generation makes
+  a worker drop its cached view instead of aliasing the old lease.
+- **Lifetimes are finalized.**  Segment unlink is wrapped in a
+  ``weakref.finalize`` on the arena plus a module ``atexit`` sweep, so
+  a worker killed mid-plan (or an exception between lease and release)
+  cannot orphan ``/dev/shm`` entries — the creating process always
+  unlinks (regression-tested in ``tests/test_engine/test_arena.py``).
+
+The lease contract: pin (lease), mutate in place, release.  A released
+segment may be re-leased immediately, so callers must drop numpy views
+derived from a lease *before* releasing it.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import threading
+import weakref
+from multiprocessing import shared_memory
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ...array.stripe import StripeBatch
+from ...exceptions import InvalidParameterError
+
+if TYPE_CHECKING:
+    from ...array.iostats import IOStats
+
+#: Every arena segment name starts with this, so orphan checks (and the
+#: leak regression test) can glob ``/dev/shm/repro-arena-*``.
+SEGMENT_PREFIX = "repro-arena"
+
+#: Segment sizes round up to this so slightly-different region sizes
+#: reuse the same pooled segment instead of forcing a fresh allocation.
+SEGMENT_GRANULARITY = 4096
+
+_NAME_COUNTER = 0
+_NAME_LOCK = threading.Lock()
+
+#: Live arenas, swept at interpreter exit as a last-resort unlink.
+_LIVE_ARENAS: "weakref.WeakSet[RegionArena]" = weakref.WeakSet()
+
+
+def _next_segment_name() -> str:
+    global _NAME_COUNTER
+    with _NAME_LOCK:
+        _NAME_COUNTER += 1
+        return f"{SEGMENT_PREFIX}-{os.getpid()}-{_NAME_COUNTER}"
+
+
+def _unlink_segments(segments: "list[_Segment]") -> None:
+    """Best-effort unlink of every segment (finalizer/atexit target)."""
+    for seg in segments:
+        seg.destroy()
+    segments.clear()
+
+
+def _atexit_sweep() -> None:
+    for arena in list(_LIVE_ARENAS):
+        arena.close()
+
+
+atexit.register(_atexit_sweep)
+
+
+class _Segment:
+    """One named shared-memory segment owned by an arena."""
+
+    __slots__ = ("shm", "capacity", "generation", "free", "_base", "_owner")
+
+    def __init__(self, capacity: int) -> None:
+        self.shm = shared_memory.SharedMemory(
+            create=True, size=capacity, name=_next_segment_name()
+        )
+        self.capacity = capacity
+        self.generation = 0
+        self.free = True
+        # Base address of the mapping, for residency checks.
+        self._base = np.frombuffer(self.shm.buf, dtype=np.uint8).ctypes.data
+        # Forked workers inherit this object (and its finalizer); only
+        # the creating process may unlink the name.
+        self._owner = os.getpid()
+
+    @property
+    def name(self) -> str:
+        return self.shm.name
+
+    def contains(self, addr: int, nbytes: int) -> int | None:
+        """Byte offset of ``[addr, addr+nbytes)`` inside this mapping,
+        or None when the range is not resident here."""
+        lo, hi = self._base, self._base + self.capacity
+        if lo <= addr and addr + nbytes <= hi:
+            return addr - lo
+        return None
+
+    def destroy(self) -> None:
+        """Close and unlink; tolerates live exported views (the mapping
+        stays valid for those holders, the name is removed either way)."""
+        try:
+            self.shm.close()
+        except BufferError:  # a numpy view is still alive; unlink anyway
+            pass
+        if os.getpid() != self._owner:
+            return
+        try:
+            self.shm.unlink()
+        except FileNotFoundError:  # already swept (double close is fine)
+            pass
+
+
+class RegionLease:
+    """A pinned region inside an arena segment.
+
+    Mutate the array returned by :meth:`array` in place, then
+    :meth:`release`.  Usable as a context manager.  ``name`` and
+    ``generation`` identify the lease to worker processes.
+    """
+
+    def __init__(self, arena: "RegionArena", segment: _Segment, nbytes: int) -> None:
+        self._arena = arena
+        self._segment = segment
+        self.nbytes = nbytes
+        self.name = segment.name
+        self.generation = segment.generation
+        self.released = False
+
+    def array(
+        self,
+        shape: tuple[int, ...],
+        dtype: object = np.uint8,
+        *,
+        zero: bool = True,
+    ) -> np.ndarray:
+        """An ndarray view over the leased bytes (zeroed by default;
+        pass ``zero=False`` when the caller overwrites every byte)."""
+        if self.released:
+            raise InvalidParameterError("lease already released")
+        nbytes = int(np.prod(shape, dtype=np.int64)) * np.dtype(dtype).itemsize
+        if nbytes > self._segment.capacity:
+            raise InvalidParameterError(
+                f"view of {nbytes} bytes exceeds lease of {self.nbytes}"
+            )
+        arr = np.ndarray(shape, dtype=dtype, buffer=self._segment.shm.buf)
+        if zero:
+            arr.fill(0)
+        return arr
+
+    def release(self) -> None:
+        """Return the segment to the arena pool (idempotent).
+
+        Views derived from :meth:`array` must be dropped first — the
+        segment may be re-leased (and its generation bumped) at once.
+        """
+        if not self.released:
+            self.released = True
+            self._arena._reclaim(self._segment)
+
+    def __enter__(self) -> "RegionLease":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()
+
+
+class RegionArena:
+    """A pool of named shared-memory segments with epoch-stamped leases."""
+
+    def __init__(self, max_segments: int = 8) -> None:
+        if max_segments <= 0:
+            raise InvalidParameterError("max_segments must be positive")
+        self.max_segments = max_segments
+        self._segments: list[_Segment] = []
+        self._lock = threading.Lock()
+        self._epoch = 0
+        self.hits = 0
+        self.misses = 0
+        self._finalizer = weakref.finalize(self, _unlink_segments, self._segments)
+        _LIVE_ARENAS.add(self)
+
+    # -- leasing ---------------------------------------------------------------
+
+    def lease(self, nbytes: int, *, stats: "IOStats | None" = None) -> RegionLease:
+        """Pin ``nbytes`` of shared memory; smallest free fit wins."""
+        if nbytes <= 0:
+            raise InvalidParameterError("lease size must be positive")
+        capacity = -(-nbytes // SEGMENT_GRANULARITY) * SEGMENT_GRANULARITY
+        with self._lock:
+            fits = [
+                s for s in self._segments if s.free and s.capacity >= capacity
+            ]
+            if fits:
+                segment = min(fits, key=lambda s: s.capacity)
+                self.hits += 1
+                hit = True
+            else:
+                if len(self._segments) >= self.max_segments:
+                    # Evict the largest free segment to bound residency.
+                    evictable = [s for s in self._segments if s.free]
+                    if evictable:
+                        victim = max(evictable, key=lambda s: s.capacity)
+                        self._segments.remove(victim)
+                        victim.destroy()
+                segment = _Segment(capacity)
+                self._segments.append(segment)
+                self.misses += 1
+                hit = False
+            segment.free = False
+            self._epoch += 1
+            segment.generation = self._epoch
+            resident = sum(s.capacity for s in self._segments)
+        if stats is not None:
+            stats.record_arena(
+                hits=int(hit), misses=int(not hit), resident_bytes=resident
+            )
+        return RegionLease(self, segment, nbytes)
+
+    def lease_batch(
+        self,
+        rows: int,
+        cols: int,
+        element_size: int,
+        count: int,
+        *,
+        stats: "IOStats | None" = None,
+    ) -> tuple[StripeBatch, RegionLease]:
+        """A zeroed :class:`StripeBatch` whose ``data`` lives in a segment.
+
+        The erased/latent flag planes are ordinary (tiny) numpy arrays;
+        only the element payload is arena-resident.  Drop the batch
+        before releasing the lease.
+        """
+        nbytes = count * rows * cols * element_size
+        lease = self.lease(nbytes, stats=stats)
+        batch = StripeBatch.__new__(StripeBatch)
+        batch.rows = rows
+        batch.cols = cols
+        batch.element_size = element_size
+        batch.count = count
+        batch.data = lease.array((count, rows, cols, element_size), np.uint8)
+        batch.erased = np.zeros((count, rows, cols), dtype=bool)
+        batch.latent = np.zeros((count, rows, cols), dtype=bool)
+        return batch, lease
+
+    def _reclaim(self, segment: _Segment) -> None:
+        with self._lock:
+            segment.free = True
+
+    # -- residency -------------------------------------------------------------
+
+    def locate(self, buf: np.ndarray) -> tuple[str, int, int] | None:
+        """``(segment name, generation, byte offset)`` when ``buf`` is a
+        view inside one of this arena's leased segments, else None."""
+        addr = buf.ctypes.data
+        with self._lock:
+            for seg in self._segments:
+                if seg.free:
+                    continue
+                offset = seg.contains(addr, buf.nbytes)
+                if offset is not None:
+                    return seg.name, seg.generation, offset
+        return None
+
+    # -- introspection / teardown ---------------------------------------------
+
+    def resident_bytes(self) -> int:
+        with self._lock:
+            return sum(s.capacity for s in self._segments)
+
+    def segment_count(self) -> int:
+        with self._lock:
+            return len(self._segments)
+
+    def stats(self) -> dict[str, int | float]:
+        """Counters for bench payloads (hit rate over all leases)."""
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_rate": round(self.hits / total, 4) if total else 0.0,
+                "segments": len(self._segments),
+                "resident_bytes": sum(s.capacity for s in self._segments),
+            }
+
+    def close(self) -> None:
+        """Unlink every segment now (also runs via finalizer/atexit)."""
+        with self._lock:
+            _unlink_segments(self._segments)
+
+
+def find_resident(buf: np.ndarray) -> tuple[str, int, int] | None:
+    """Locate ``buf`` in *any* live arena (backends share this check, so
+    a per-shard arena's regions are recognized by the global backend)."""
+    for arena in list(_LIVE_ARENAS):
+        located = arena.locate(buf)
+        if located is not None:
+            return located
+    return None
+
+
+# -- worker-side attachment cache ---------------------------------------------
+
+#: ``name -> (generation, SharedMemory)`` in a worker process.  Keeping
+#: the mapping open across commands is what makes regions *resident*:
+#: repeated executions over the same lease re-use the attachment.
+_ATTACHED: dict[str, tuple[int, shared_memory.SharedMemory]] = {}
+
+
+def attach_segment(name: str, generation: int) -> shared_memory.SharedMemory:
+    """Attach to a named segment, cached per ``(name, generation)``.
+
+    A generation bump means the parent re-leased the segment; the stale
+    attachment is dropped and the segment re-attached so the worker
+    cannot alias a view from a previous epoch.
+    """
+    cached = _ATTACHED.get(name)
+    if cached is not None:
+        gen, shm = cached
+        if gen == generation:
+            return shm
+        shm.close()
+        del _ATTACHED[name]
+    shm = shared_memory.SharedMemory(name=name)
+    _ATTACHED[name] = (generation, shm)
+    return shm
+
+
+def detach_all_segments() -> None:
+    """Drop every cached worker attachment (worker shutdown path)."""
+    for _, shm in _ATTACHED.values():
+        shm.close()
+    _ATTACHED.clear()

@@ -61,8 +61,15 @@ class KernelBackend:
         *,
         stats: "IOStats | None" = None,
         workers: int | None = None,
+        affinity: int | None = None,
     ) -> None:
-        """Run ``plan`` in place on ``target`` (see module contract)."""
+        """Run ``plan`` in place on ``target`` (see module contract).
+
+        ``affinity`` is an optional integer hint identifying the caller
+        (e.g. a service shard) so pooled backends can keep routing its
+        regions to the same warm resources; backends without pooled
+        state ignore it.
+        """
         raise NotImplementedError
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -107,10 +107,12 @@ class FusedBackend(KernelBackend):
         *,
         stats: "IOStats | None" = None,
         workers: int | None = None,
+        affinity: int | None = None,
     ) -> None:
         """Run ``plan`` tile by tile over each contiguous region.
 
-        ``workers`` is accepted for seam compatibility and ignored —
+        ``workers`` and ``affinity`` are accepted for seam
+        compatibility and ignored —
         fusion is a single-thread strategy; combine with the
         ``parallel`` backend for multi-core execution.
         """

@@ -40,7 +40,10 @@ from ..executor import _check_geometry, _clear_outputs
 from .base import KernelBackend, Target, charge_stats, split_targets
 
 if TYPE_CHECKING:
+    from collections.abc import Mapping
+
     from ...array.iostats import IOStats
+    from ...array.stripe import Stripe
     from ..plan import XorPlan
 
 #: Per-cell tile budget in bytes (same heuristic as the fused backend).
@@ -223,9 +226,13 @@ class NativeBackend(KernelBackend):
 
     name = "native"
 
-    #: encoded-schedule cache keyed by plan hash (plans are immutable).
+    #: encoded-schedule caches keyed by plan hash (plans are immutable);
+    #: update plans cache the extended [delta-build | plan | fold] form.
     def __init__(self) -> None:
         self._schedules: dict[str, np.ndarray] = {}
+        self._update_schedules: dict[
+            str, tuple[np.ndarray, tuple[int, ...], int]
+        ] = {}
 
     def available(self) -> bool:
         return _kernel() is not None
@@ -237,12 +244,13 @@ class NativeBackend(KernelBackend):
         *,
         stats: "IOStats | None" = None,
         workers: int | None = None,
+        affinity: int | None = None,
     ) -> None:
         """Run the whole schedule in one C call per contiguous region.
 
-        ``workers`` is accepted for seam compatibility and ignored (the
-        native loop is single-thread; the ``parallel`` backend layers
-        multi-core on top).
+        ``workers`` and ``affinity`` are accepted for seam
+        compatibility and ignored (the native loop is single-thread;
+        the ``parallel`` backend layers multi-core on top).
         """
         fn = _kernel()
         if fn is None:
@@ -277,3 +285,125 @@ class NativeBackend(KernelBackend):
             )
             charge_stats(stats, plan, flat, plan.fused_kernel_calls)
             _clear_outputs(plan, piece)
+
+    # -- the end-to-end update path -------------------------------------------
+
+    def _update_schedule(
+        self, plan: "XorPlan"
+    ) -> tuple[np.ndarray, tuple[int, ...], int]:
+        """The extended schedule for an update plan, cached by hash.
+
+        Layout: the live stripe is the ``buf`` region (``num_cells``
+        cells); the *delta domain* lives entirely in scratch.  Cell
+        slot ``s`` of the delta buffer maps to scratch slot
+        ``num_cells + index(s)`` (only the slots the plan actually
+        touches get scratch, compacted), and the plan's own temps
+        follow.  The schedule is three phases in one flat program:
+
+        1. delta build — scratch holds the dirty cells' *old* bytes
+           (preloaded by the caller); one in-place XOR against the live
+           (new) cell turns each into ``old ⊕ new``;
+        2. the update plan's steps, slot-remapped into scratch, which
+           leave each dirtied parity's *delta* in scratch;
+        3. masked fold — each output parity cell of the live stripe is
+           XORed with its delta, exactly like
+           :func:`~repro.engine.executor.apply_update`.
+
+        Returns ``(encoded schedule, touched delta slots in scratch
+        order, scratch cell count)``.
+        """
+        cached = self._update_schedules.get(plan.plan_hash)
+        if cached is not None:
+            return cached
+        touched = sorted(
+            {
+                slot
+                for step in plan.steps
+                for slot in (step.dst, *step.srcs)
+                if slot < plan.num_cells
+            }
+            | set(plan.pattern)
+            | set(plan.outputs)
+        )
+        index = {slot: i for i, slot in enumerate(touched)}
+        ncells = plan.num_cells
+
+        def delta_slot(slot: int) -> int:
+            # A delta-domain slot, remapped into the scratch region.
+            if slot < ncells:
+                return ncells + index[slot]
+            return ncells + len(touched) + (slot - ncells)
+
+        enc: list[int] = []
+        for dirty in plan.pattern:
+            d = delta_slot(dirty)
+            enc.extend((d, 2, d, dirty))  # scratch(old) ^= live(new)
+        for step in plan.steps:
+            enc.append(delta_slot(step.dst))
+            enc.append(len(step.srcs))
+            enc.extend(delta_slot(s) for s in step.srcs)
+        for out in plan.outputs:
+            enc.extend((out, 2, out, delta_slot(out)))  # parity ^= delta
+        entry = (np.asarray(enc, dtype=np.int32), tuple(touched), len(touched))
+        self._update_schedules[plan.plan_hash] = entry
+        return entry
+
+    def execute_update(
+        self,
+        plan: "XorPlan",
+        stripe: "Stripe",
+        old: "Mapping[int, np.ndarray]",
+        *,
+        stats: "IOStats | None" = None,
+    ) -> None:
+        """Fold an update plan's parity deltas into a live stripe.
+
+        One C call covers what the numpy flush path spreads over three
+        layers (delta build, plan execution, ``apply_update``):
+        ``stripe`` holds the *new* data, ``old`` maps each dirty cell
+        slot (``r * cols + c``) to its pre-image bytes, and on return
+        every dirtied parity cell has been updated in place.  The
+        extended schedule is cached per plan hash like the plain path.
+        """
+        fn = _kernel()
+        if fn is None:
+            raise InvalidParameterError(
+                "native backend unavailable on this host (no C compiler); "
+                "use engine='auto' for graceful fallback"
+            )
+        if plan.op != "update":
+            raise InvalidParameterError(
+                f"execute_update needs an 'update' plan, got {plan.op!r}"
+            )
+        missing = [slot for slot in plan.pattern if slot not in old]
+        if missing:
+            raise InvalidParameterError(
+                f"missing pre-images for dirty slots {missing}"
+            )
+        enc, touched, scratch_cells = self._update_schedule(plan)
+        _check_geometry(plan, stripe)
+        flat = stripe.flat_view()
+        cell_bytes = flat.shape[-1]
+        scratch = np.zeros(
+            (scratch_cells + plan.num_temps, cell_bytes), dtype=np.uint8
+        )
+        for i, slot in enumerate(touched):
+            if slot in old:
+                scratch[i] = old[slot]
+        n_steps = len(plan.pattern) + len(plan.steps) + len(plan.outputs)
+        tile = max(1, min(cell_bytes, NATIVE_TILE_BYTES))
+        fn(
+            flat.ctypes.data,
+            scratch.ctypes.data,
+            1,
+            0,
+            cell_bytes,
+            enc.ctypes.data,
+            n_steps,
+            plan.num_cells,
+            tile,
+        )
+        if stats is not None:
+            per_word = max(cell_bytes // 8, 1)
+            xors = len(plan.pattern) + plan.xors_per_word + len(plan.outputs)
+            stats.record_xor(xors * per_word, 1)

@@ -192,6 +192,78 @@ def _build_region(code, element_size: int, batch: int, op: str, pattern):
     return region
 
 
+def _bench_arena_ab(code, element_size: int, batch: int, repeats: int) -> dict:
+    """A/B the parallel backend with and without a resident arena region.
+
+    Both sides execute the identical encode plan over byte-identical
+    regions through the worker pool (``min_parallel_bytes`` forced to 0
+    and two chunks so even the smoke size takes the shared-memory
+    path).  The ``off`` side is a plain numpy region — every call pays
+    a copy in and a copy out of a pooled segment — while the ``on``
+    side is a :meth:`RegionArena.lease_batch` region the workers mutate
+    in place, so its per-call ``shm_copy_bytes`` must be exactly zero.
+    That zero is the acceptance number; ``match`` double-checks both
+    sides still produced the same bytes.
+    """
+    import numpy as np
+
+    from ..array.iostats import IOStats
+    from . import backends as backends_pkg
+    from .backends import parallel as parallel_mod
+    from .backends.arena import RegionArena
+
+    plan = compile_plan(code, "encode")
+    base = _build_region(code, element_size, batch, "encode", ())
+    region_bytes = batch * code.rows * code.cols * element_size
+    backend = backends_pkg.resolve_backend("parallel")
+    calls = max(repeats, 3)
+    saved = dict(parallel_mod._CONFIG)
+    parallel_mod.configure_backend(min_parallel_bytes=0, workers=2)
+    arena = RegionArena()
+    rows = []
+    try:
+        resident, lease = arena.lease_batch(
+            code.rows, code.cols, element_size, batch
+        )
+        np.copyto(resident.data, base.data)
+        resident.erased[:] = base.erased
+        resident.latent[:] = base.latent
+        for mode, target in (("off", base), ("on", resident)):
+            stats = IOStats(code.cols)
+            t0 = time.perf_counter()
+            for _ in range(calls):
+                backend.execute(plan, target, stats=stats)
+            seconds = time.perf_counter() - t0
+            rows.append(
+                {
+                    "code": code.name,
+                    "op": "encode",
+                    "element_size": element_size,
+                    "batch": batch,
+                    "region_bytes": region_bytes,
+                    "arena": mode,
+                    "calls": calls,
+                    "seconds_per_call": seconds / calls,
+                    "mb_per_s": _mb_per_s(region_bytes, calls, seconds),
+                    "shm_copy_bytes_per_call": stats.shm_copy_bytes / calls,
+                    "arena_hits": stats.arena_hits,
+                    "arena_misses": stats.arena_misses,
+                }
+            )
+        match = bool(np.array_equal(base.data, resident.data))
+        for row in rows:
+            row["match"] = match
+        del resident
+        lease.release()
+    finally:
+        parallel_mod._CONFIG.update(saved)
+        arena.close()
+    return {
+        "rows": rows,
+        "pool_arena": backend.arena.stats(),
+    }
+
+
 def run_backend_sweep(
     codes: tuple[str, ...] | None = None,
     p: int = 7,
@@ -276,15 +348,22 @@ def run_backend_sweep(
                                 "mb_per_s": row["mb_per_s"],
                             }
                 del region
+    arena_ab = None
+    if "parallel" in backends:
+        arena_ab = _bench_arena_ab(
+            get_code(names[0], p), element_sizes[0], batch, repeats
+        )
     return {
         "cpu_count": cpus,
         "backends": list(backends),
+        "auto_resolves_to": resolve_backend("auto").name,
         "threads": list(threads),
         "element_sizes": list(element_sizes),
         "batch": batch,
         "repeats": repeats,
         "rows": rows,
         "headline": headline,
+        "arena_ab": arena_ab,
     }
 
 

@@ -106,6 +106,7 @@ def execute_plan(
     stats: "IOStats | None" = None,
     workers: int | None = None,
     backend: str | None = None,
+    affinity: int | None = None,
 ) -> None:
     """Execute ``plan`` in place on a stripe, batch, or list of stripes.
 
@@ -114,13 +115,15 @@ def execute_plan(
     enables the parallel path for plans with independent groups.
     ``backend`` selects a registered kernel backend by name (``fused``,
     ``parallel``, ``native``, ``auto``); ``None`` or ``"vector"`` runs
-    the classic per-step path below.
+    the classic per-step path below.  ``affinity`` is forwarded to
+    pooled backends so a caller (e.g. a service shard) keeps hitting
+    the same warm workers; the classic path ignores it.
     """
     if backend is not None and backend != "vector":
         from .backends import resolve_backend
 
         resolve_backend(backend).execute(
-            plan, target, stats=stats, workers=workers
+            plan, target, stats=stats, workers=workers, affinity=affinity
         )
         return
     if isinstance(target, Stripe):

@@ -1,0 +1,303 @@
+"""The resident-region arena and the arena-aware parallel backend.
+
+Covers the lease/epoch protocol (pooled segments, generation bumps,
+validation), zero-copy execution over arena-resident regions (the
+``shm_copy_bytes == 0`` acceptance counter), the pooled copy-in/out
+path for plain numpy targets, worker-death recovery without orphaned
+``/dev/shm`` segments, and the :func:`configure_backend` /
+``REPRO_PARALLEL_*`` tuning seam.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.array.filestore import FileStore
+from repro.array.iostats import IOStats
+from repro.array.stripe import StripeBatch
+from repro.codes.registry import get_code
+from repro.engine import compile_plan, execute_plan_scalar
+from repro.engine.backends import (
+    RegionArena,
+    configure_backend,
+    find_resident,
+    get_backend,
+)
+from repro.engine.backends import parallel as parallel_mod
+from repro.engine.backends.arena import SEGMENT_GRANULARITY
+from repro.exceptions import InvalidParameterError
+
+HAS_DEV_SHM = os.path.isdir("/dev/shm")
+
+
+@pytest.fixture(autouse=True)
+def _pristine_backend_config():
+    """Every test sees (and leaves behind) unset runtime overrides."""
+    saved = dict(parallel_mod._CONFIG)
+    yield
+    parallel_mod._CONFIG.update(saved)
+
+
+def _filled_resident_batch(arena, code, element_size, count, seed=0):
+    """An arena-resident batch mirroring ``count`` random stripes."""
+    stripes = [
+        code.random_stripe(element_size=element_size, seed=seed + i)
+        for i in range(count)
+    ]
+    plain = StripeBatch.from_stripes(stripes)
+    batch, lease = arena.lease_batch(
+        code.rows, code.cols, element_size, count
+    )
+    np.copyto(batch.data, plain.data)
+    batch.erased[:] = plain.erased
+    batch.latent[:] = plain.latent
+    return batch, lease, stripes
+
+
+class TestRegionArena:
+    def test_release_pools_the_segment(self):
+        arena = RegionArena()
+        try:
+            stats = IOStats(5)
+            with arena.lease(1000, stats=stats) as lease:
+                name = lease.name
+            assert (stats.arena_hits, stats.arena_misses) == (0, 1)
+            with arena.lease(500, stats=stats) as lease:
+                assert lease.name == name  # smallest-fit reuse, no alloc
+            assert (stats.arena_hits, stats.arena_misses) == (1, 1)
+            assert arena.segment_count() == 1
+            assert arena.stats()["hit_rate"] == 0.5
+        finally:
+            arena.close()
+
+    def test_generation_bumps_on_every_lease(self):
+        arena = RegionArena()
+        try:
+            generations = []
+            for _ in range(3):
+                with arena.lease(64) as lease:
+                    generations.append(lease.generation)
+            assert generations == sorted(set(generations))
+        finally:
+            arena.close()
+
+    def test_lease_validation(self):
+        arena = RegionArena()
+        try:
+            with pytest.raises(InvalidParameterError, match="positive"):
+                arena.lease(0)
+            lease = arena.lease(16)
+            with pytest.raises(InvalidParameterError, match="exceeds"):
+                lease.array((SEGMENT_GRANULARITY + 1,))
+            lease.release()
+            lease.release()  # idempotent
+            with pytest.raises(InvalidParameterError, match="released"):
+                lease.array((4,))
+            with pytest.raises(InvalidParameterError, match="positive"):
+                RegionArena(max_segments=0)
+        finally:
+            arena.close()
+
+    def test_eviction_bounds_resident_segments(self):
+        arena = RegionArena(max_segments=1)
+        try:
+            arena.lease(SEGMENT_GRANULARITY).release()
+            arena.lease(4 * SEGMENT_GRANULARITY).release()
+            assert arena.segment_count() == 1
+            assert arena.resident_bytes() == 4 * SEGMENT_GRANULARITY
+        finally:
+            arena.close()
+
+    def test_locate_and_find_resident(self):
+        arena = RegionArena()
+        try:
+            code = get_code("HV", 5)
+            batch, lease, _ = _filled_resident_batch(arena, code, 16, 2)
+            located = arena.locate(batch.data)
+            assert located is not None
+            assert located[:2] == (lease.name, lease.generation)
+            assert find_resident(batch.data) == located
+            # Word views of the same buffer are resident too.
+            assert find_resident(batch.as_words()) is not None
+            # A plain allocation is nobody's resident region.
+            assert find_resident(np.zeros(64, dtype=np.uint8)) is None
+            del batch
+            lease.release()
+        finally:
+            arena.close()
+
+    @pytest.mark.skipif(not HAS_DEV_SHM, reason="no /dev/shm on this host")
+    def test_close_unlinks_every_segment(self):
+        arena = RegionArena()
+        lease = arena.lease(128)
+        name = lease.name
+        assert os.path.exists(f"/dev/shm/{name}")
+        lease.release()
+        arena.close()
+        assert not os.path.exists(f"/dev/shm/{name}")
+
+
+class TestResidentExecution:
+    def _scalar_expected(self, plan, stripes):
+        expected = [s.copy() for s in stripes]
+        for s in expected:
+            execute_plan_scalar(plan, s)
+        return expected
+
+    def test_resident_region_executes_with_zero_copy_bytes(self):
+        configure_backend(min_parallel_bytes=0, workers=2)
+        arena = RegionArena()
+        try:
+            code = get_code("HV", 7)
+            plan = compile_plan(code, "encode")
+            batch, lease, stripes = _filled_resident_batch(
+                arena, code, 512, 3
+            )
+            expected = self._scalar_expected(plan, stripes)
+            backend = get_backend("parallel")
+            for repeat in range(3):
+                stats = IOStats(code.cols)
+                backend.execute(plan, batch, stats=stats)
+                # The acceptance counter: repeated executions over a
+                # resident region never copy region bytes across the
+                # shared-memory boundary.
+                assert stats.shm_copy_bytes == 0
+                assert stats.kernel_invocations >= plan.fused_kernel_calls
+            for got, want in zip(batch.stripes(), expected):
+                assert got == want
+            del batch
+            lease.release()
+        finally:
+            arena.close()
+
+    def test_non_resident_region_pays_copies_then_reuses_the_pool(self):
+        configure_backend(min_parallel_bytes=0, workers=2)
+        code = get_code("HV", 7)
+        plan = compile_plan(code, "encode")
+        stripes = [
+            code.random_stripe(element_size=512, seed=i) for i in range(3)
+        ]
+        expected = self._scalar_expected(plan, stripes)
+        batch = StripeBatch.from_stripes(stripes)
+        backend = get_backend("parallel")
+        nbytes = batch.as_words().nbytes
+        first = IOStats(code.cols)
+        backend.execute(plan, batch, stats=first)
+        assert first.shm_copy_bytes == 2 * nbytes  # one in, one out
+        second = IOStats(code.cols)
+        backend.execute(plan, batch, stats=second)
+        assert second.shm_copy_bytes == 2 * nbytes
+        assert second.arena_hits == 1  # pooled segment, no new alloc
+        assert second.arena_misses == 0
+        for got, want in zip(batch.stripes(), expected):
+            assert got == want
+
+    def test_affinity_rotates_but_never_changes_bytes(self):
+        configure_backend(min_parallel_bytes=0, workers=2)
+        code = get_code("RDP", 5)
+        plan = compile_plan(code, "encode")
+        stripes = [
+            code.random_stripe(element_size=256, seed=i) for i in range(2)
+        ]
+        expected = self._scalar_expected(plan, stripes)
+        for affinity in (None, 0, 1, 7):
+            batch = StripeBatch.from_stripes([s.copy() for s in stripes])
+            get_backend("parallel").execute(plan, batch, affinity=affinity)
+            for got, want in zip(batch.stripes(), expected):
+                assert got == want
+
+    @pytest.mark.skipif(not HAS_DEV_SHM, reason="no /dev/shm on this host")
+    def test_worker_death_recovers_without_orphaned_segments(self):
+        """Kill a pool worker mid-stream: the suspect chunks re-run
+        inline, the slot respawns, and no ``/dev/shm`` segment outlives
+        the arena."""
+        configure_backend(min_parallel_bytes=0, workers=2)
+        arena = RegionArena()
+        code = get_code("HV", 7)
+        plan = compile_plan(code, "encode")
+        batch, lease, stripes = _filled_resident_batch(arena, code, 512, 3)
+        expected = self._scalar_expected(plan, stripes)
+        backend = get_backend("parallel")
+        try:
+            backend.execute(plan, batch)  # warm pool + attachments
+            pool = parallel_mod._pool(2)
+            pool.workers[0].proc.kill()
+            pool.workers[0].proc.join()
+            backend.execute(plan, batch)  # dead slot detected mid-plan
+            for got, want in zip(batch.stripes(), expected):
+                assert got == want
+            assert all(
+                w.proc.is_alive() for w in parallel_mod._pool(2).workers
+            )
+            segment_name = lease.name
+        finally:
+            del batch
+            lease.release()
+            arena.close()
+        # The killed worker held an attachment to this segment; its
+        # death must not leave the name behind once the arena closes.
+        assert not os.path.exists(f"/dev/shm/{segment_name}")
+
+    def test_filestore_flush_leases_resident_delta_batches(self):
+        """The flush hot path: a parallel-engine store's delta batches
+        live in its arena, so the update plan runs zero-copy."""
+        configure_backend(min_parallel_bytes=0, workers=2)
+        code = get_code("HV", 7)
+        payload = bytes((i * 31) % 256 for i in range(3 * 48))
+        reference = FileStore(code, element_size=48, engine="python")
+        store = FileStore(
+            code, element_size=48, engine="parallel", cache_stripes=2
+        )
+        store.arena = RegionArena()
+        try:
+            for s in (reference, store):
+                s.write(0, payload)
+            store.flush()
+            assert store.stats.shm_copy_bytes == 0
+            assert store.stats.arena_misses >= 1
+            for a, b in zip(reference.stripes, store.stripes):
+                assert a == b
+        finally:
+            store.arena.close()
+
+
+class TestConfigureBackend:
+    def test_overrides_win_and_reset_restores_defaults(self):
+        effective = configure_backend(min_parallel_bytes=123, workers=3)
+        assert effective == {"min_parallel_bytes": 123, "workers": 3}
+        assert parallel_mod.min_parallel_bytes_effective() == 123
+        assert parallel_mod.default_workers() == 3
+        configure_backend(reset=True)
+        assert (
+            parallel_mod.min_parallel_bytes_effective()
+            == parallel_mod.MIN_PARALLEL_BYTES
+        )
+
+    def test_validation_uses_the_exception_hierarchy(self):
+        with pytest.raises(InvalidParameterError, match="min_parallel_bytes"):
+            configure_backend(min_parallel_bytes=-1)
+        with pytest.raises(InvalidParameterError, match="workers"):
+            configure_backend(workers=0)
+        with pytest.raises(InvalidParameterError, match="min_parallel_bytes"):
+            configure_backend(min_parallel_bytes="lots")
+
+    def test_env_vars_apply_below_explicit_config(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL_MIN_BYTES", "4096")
+        monkeypatch.setenv("REPRO_PARALLEL_WORKERS", "5")
+        configure_backend(reset=True)
+        assert parallel_mod.min_parallel_bytes_effective() == 4096
+        assert parallel_mod.default_workers() == 5
+        configure_backend(min_parallel_bytes=64)
+        assert parallel_mod.min_parallel_bytes_effective() == 64
+        assert parallel_mod.default_workers() == 5  # env still holds
+
+    def test_env_validation(self, monkeypatch):
+        configure_backend(reset=True)
+        monkeypatch.setenv("REPRO_PARALLEL_MIN_BYTES", "soon")
+        with pytest.raises(InvalidParameterError, match="integer"):
+            parallel_mod.min_parallel_bytes_effective()
+        monkeypatch.setenv("REPRO_PARALLEL_MIN_BYTES", "1024")
+        monkeypatch.setenv("REPRO_PARALLEL_WORKERS", "0")
+        with pytest.raises(InvalidParameterError, match=">= 1"):
+            parallel_mod.default_workers()

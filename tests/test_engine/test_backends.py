@@ -339,3 +339,96 @@ class TestRegistry:
             backend.execute(plan, stripe)
         # ...while auto degrades gracefully to a working backend.
         assert resolve_backend("auto").name == "fused"
+
+
+@pytest.mark.skipif(not NATIVE_AVAILABLE, reason="no C compiler on this host")
+class TestNativeUpdate:
+    """The end-to-end native update path: delta build, remapped plan,
+    and parity fold fused into one C call, byte-identical to the
+    pure-Python chain-walk update."""
+
+    def _updated_pair(self, code, element_size, width, seed=0):
+        """(oracle stripe, native-updated stripe) after the same RMW."""
+        from repro.engine.compile import choose_update_strategy
+
+        rng = np.random.default_rng(seed)
+        stripe = code.random_stripe(element_size=element_size, seed=seed)
+        positions = list(code.data_positions[:width])
+        news = {
+            pos: rng.integers(0, 256, element_size, dtype=np.uint8)
+            for pos in positions
+        }
+        oracle = stripe.copy()
+        code.update_elements(oracle, news)
+
+        pattern = tuple(sorted(r * code.cols + c for (r, c) in positions))
+        strategy, plan = choose_update_strategy(code, pattern)
+        assert strategy == "rmw"
+        target = stripe.copy()
+        old = {}
+        for (r, c), new in news.items():
+            old[r * code.cols + c] = target.data[r, c].copy()
+            target.data[r, c] = new
+        backend = get_backend("native")
+        stats = IOStats(code.cols)
+        backend.execute_update(plan, target, old, stats=stats)
+        assert stats.kernel_invocations == 1  # the whole RMW, one C call
+        assert stats.xor_words > 0
+        return oracle, target
+
+    @pytest.mark.parametrize("element_size", [5, 8, 13, 24, 64])
+    def test_matches_chain_walk_oracle(self, element_size):
+        for name, p, width in (("HV", 7, 2), ("RDP", 5, 3), ("HV", 11, 4)):
+            code = get_code(name, p)
+            oracle, target = self._updated_pair(code, element_size, width)
+            assert target == oracle
+
+    def test_extended_schedule_is_cached_by_plan_hash(self):
+        from repro.engine.compile import choose_update_strategy
+
+        code = get_code("HV", 7)
+        pattern = tuple(
+            sorted(r * code.cols + c for (r, c) in code.data_positions[:2])
+        )
+        _, plan = choose_update_strategy(code, pattern)
+        backend = get_backend("native")
+        backend._update_schedules.pop(plan.plan_hash, None)
+        self._updated_pair(code, 16, 2, seed=1)
+        first = backend._update_schedules[plan.plan_hash]
+        self._updated_pair(code, 16, 2, seed=2)
+        assert backend._update_schedules[plan.plan_hash] is first
+
+    def test_rejects_non_update_plans_and_missing_preimages(self):
+        from repro.engine.compile import choose_update_strategy
+
+        code = get_code("HV", 7)
+        stripe = code.random_stripe(element_size=8, seed=0)
+        backend = get_backend("native")
+        encode_plan = compile_plan(code, "encode")
+        with pytest.raises(InvalidParameterError, match="update"):
+            backend.execute_update(encode_plan, stripe, {})
+        pattern = tuple(
+            sorted(r * code.cols + c for (r, c) in code.data_positions[:2])
+        )
+        _, plan = choose_update_strategy(code, pattern)
+        with pytest.raises(InvalidParameterError, match="pre-image"):
+            backend.execute_update(plan, stripe, {})
+
+    def test_filestore_native_flush_matches_python_store(self):
+        """A cached native-engine store lands the same bytes (data and
+        parity) as the write-through python oracle."""
+        code = get_code("HV", 11)
+        reference = FileStore(code, element_size=32, engine="python")
+        store = FileStore(
+            code, element_size=32, engine="native", cache_stripes=2
+        )
+        rng = np.random.default_rng(7)
+        for i in range(12):
+            offset = int(rng.integers(0, 4)) * 32
+            payload = bytes(rng.integers(0, 256, 32, dtype=np.uint8))
+            reference.write(offset, payload)
+            store.write(offset, payload)
+        store.flush()
+        assert store.stats.kernel_invocations >= 1
+        for a, b in zip(reference.stripes, store.stripes):
+            assert a == b

@@ -213,3 +213,32 @@ class TestCrashBench:
         assert "crash matrix: 1 code(s) at p=5" in text
         assert "all recovered" in text
         assert payload["report_hash"] in text
+
+
+class TestCrashAcrossBackends:
+    """Crash-consistency is a property of the journal, not the engine:
+    recovery must be byte-identical whichever backend executed the
+    parity math before the crash."""
+
+    @pytest.mark.parametrize("engine", ["fused", "native"])
+    def test_sampled_boundaries_recover_byte_identically(self, engine):
+        from repro.engine.backends import available_backends
+
+        if engine not in available_backends():
+            pytest.skip(f"{engine} backend unavailable on this host")
+        code = HVCode(7)
+        trace = seeded_write_trace(code, element_size=16, ops=6, seed=3)
+        clean = run_crash_scenario(code, trace, None, engine=engine)
+        assert clean.ok and clean.boundaries > 0
+        samples = sorted(
+            {
+                max(1, (clean.boundaries * pct) // 100)
+                for pct in (25, 50, 75)
+            }
+        )
+        for crash_at in samples:
+            result = run_crash_scenario(code, trace, crash_at, engine=engine)
+            assert result.ok, (
+                f"engine={engine} diverged after crash at boundary "
+                f"{crash_at}/{clean.boundaries}"
+            )

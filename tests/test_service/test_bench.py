@@ -110,3 +110,19 @@ class TestSmokePin:
     def test_drift_detected(self):
         with pytest.raises(CertificationError):
             check_smoke_hash({"report_hash": "deadbeef"})
+
+
+class TestEngineSelection:
+    def test_engine_is_invisible_to_the_report_hash(self, tiny_payload):
+        """The backend only changes who executes the parity math; the
+        served bytes, ledger, and hash must not move."""
+        fused = run_serve_bench(["HV"], 5, engine="fused", **TINY)
+        assert fused["all_ok"] is True
+        assert fused["timing"]["engine"] == "fused"
+        assert serve_report_hash(fused) == serve_report_hash(tiny_payload)
+
+    def test_unknown_engine_rejected(self):
+        from repro.exceptions import InvalidParameterError
+
+        with pytest.raises(InvalidParameterError):
+            run_serve_bench(["HV"], 5, engine="abacus", **TINY)
